@@ -1,0 +1,242 @@
+"""Ablation benchmarks for wP2P's design choices (DESIGN.md §5).
+
+Each ablation varies one knob the paper fixes, to show where the chosen
+value sits:
+
+* AM γ threshold (ACK-decoupling cutoff) and DUPACK drop fraction;
+* mobility-aware fetching's pr schedule (constant / linear / exponential);
+* LIHD α/β aggressiveness;
+* role reversal vs relying on shorter tracker refresh intervals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis import ExperimentResult, Series
+from repro.bittorrent import ClientConfig, RarestFirstSelector
+from repro.bittorrent.swarm import SwarmScenario
+from repro.experiments import playability_run
+from repro.experiments.fig8_wp2p import _fig8a_run, _fig8c_run
+from repro.experiments.fig9_wp2p import _fig9c_run, mf_only_config
+from repro.media import average_curves
+from repro.wp2p import (
+    WP2PClient,
+    WP2PConfig,
+    exponential_progress_schedule,
+    linear_progress_schedule,
+)
+
+from conftest import run_figure
+
+
+# ----------------------------------------------------------------------
+# AM gamma threshold
+# ----------------------------------------------------------------------
+
+def _am_gamma_throughput(gamma_bytes: int, runs: int = 4, ber: float = 1.5e-5) -> float:
+    """wP2P throughput (KB/s) in the Figure 8(a) setup at one γ."""
+    from repro.experiments.fig8_wp2p import am_only_config
+    from repro.bittorrent.swarm import SwarmScenario
+
+    totals = []
+    for r in range(runs):
+        sc = SwarmScenario(seed=4000 + r, file_size=6 * 1024 * 1024, piece_length=65_536)
+        n = sc.torrent.num_pieces
+        even = [i for i in range(n) if i % 2 == 0]
+        odd = [i for i in range(n) if i % 2 == 1]
+        sc.add_wireless_peer("default", rate=100_000, ber=ber, initial_pieces=even)
+        cfg = am_only_config(am_gamma_bytes=gamma_bytes)
+        wp2p = sc.add_wireless_peer(
+            "wp2p", rate=100_000, ber=ber, initial_pieces=odd,
+            client_factory=WP2PClient, config=cfg,
+        )
+        sc.start_all()
+        sc.run(until=5.0)
+        base = wp2p.client.downloaded.total
+        sc.run(until=50.0)
+        totals.append((wp2p.client.downloaded.total - base) / 45.0 / 1000.0)
+    return sum(totals) / len(totals)
+
+
+def ablate_am_gamma(gammas=(2920, 8760, 17_520), runs: int = 4) -> ExperimentResult:
+    ys = [_am_gamma_throughput(g, runs=runs) for g in gammas]
+    return ExperimentResult(
+        figure="Ablation: AM γ",
+        title="ACK-decoupling threshold sensitivity (BER 1.5e-5)",
+        x_label="γ (bytes; 2/6/12 MSS)",
+        y_label="wP2P throughput (KB/s)",
+        series=[Series("wP2P", list(gammas), ys)],
+        paper_expectation="the paper picks γ=6 MSS (~9 KB) per [10]",
+    )
+
+
+def test_ablation_am_gamma(benchmark):
+    result = run_figure(benchmark, ablate_am_gamma, runs=4)
+    assert all(y > 0 for y in result.series[0].y)
+
+
+# ----------------------------------------------------------------------
+# MF pr schedule
+# ----------------------------------------------------------------------
+
+def ablate_mf_schedule(runs: int = 6, num_pieces: int = 40) -> ExperimentResult:
+    schedules = [
+        ("constant 0.2", lambda ctx: 0.2),
+        ("linear (paper eval)", linear_progress_schedule),
+        ("exponential p0=0.2", exponential_progress_schedule(0.2)),
+        ("rarest-only (default)", lambda ctx: 1.0),
+    ]
+    grid = [0.0, 25.0, 50.0, 75.0, 100.0]
+    series: List[Series] = []
+    for label, schedule in schedules:
+        def factory(sim, host, torrent, _schedule=schedule, **kwargs):
+            kwargs.setdefault("config", mf_only_config())
+            kwargs.setdefault("pr_schedule", _schedule)
+            return WP2PClient(sim, host, torrent, **kwargs)
+
+        curves = [
+            playability_run(4100 + r, num_pieces, client_factory=factory)
+            for r in range(runs)
+        ]
+        avg = average_curves(curves, grid)
+        series.append(Series(label, [g for g, _ in avg], [p for _, p in avg]))
+    return ExperimentResult(
+        figure="Ablation: MF pr schedule",
+        title="Playability under different altruism schedules",
+        x_label="Downloaded percentage (%)",
+        y_label="Playable percentage (%)",
+        series=series,
+        paper_expectation=(
+            "more sequential bias -> more playable mid-download; the linear "
+            "schedule is what the paper evaluates"
+        ),
+    )
+
+
+def test_ablation_mf_schedule(benchmark):
+    result = run_figure(benchmark, ablate_mf_schedule, runs=5)
+    constant = result.get("constant 0.2")
+    rarest = result.get("rarest-only (default)")
+    # stronger sequential bias must not be less playable mid-download
+    assert constant.y_at(50.0) >= rarest.y_at(50.0)
+
+
+# ----------------------------------------------------------------------
+# LIHD aggressiveness
+# ----------------------------------------------------------------------
+
+def ablate_lihd_alpha_beta(runs: int = 2, bandwidth: float = 100_000.0) -> ExperimentResult:
+    """Download rate for several (α, β) pairs in the Figure 8(c) setup."""
+    from repro.experiments.base import random_piece_subset
+    import random as _random
+
+    pairs = [(5_120.0, 5_120.0), (10_240.0, 10_240.0), (20_480.0, 20_480.0), (10_240.0, 30_720.0)]
+    labels = ["a=b=5K", "a=b=10K (paper)", "a=b=20K", "a=10K b=30K"]
+    ys: List[float] = []
+    for alpha, beta in pairs:
+        vals = []
+        for r in range(runs):
+            seed = 4200 + r
+            sc = SwarmScenario(seed=seed, file_size=8 * 1024 * 1024, piece_length=65_536)
+            n = sc.torrent.num_pieces
+            rng = _random.Random(seed * 31 + 7)
+            ccfg = ClientConfig(unchoke_slots=1, optimistic_every=3, choke_interval=5.0)
+            sc.add_wired_peer("s0", complete=True, up_rate=150_000, config=ccfg)
+            for i in range(8):
+                sc.add_wired_peer(
+                    f"c{i}", initial_pieces=random_piece_subset(rng, n, 0.5),
+                    up_rate=40_000.0 + 15_000.0 * i, config=ccfg,
+                )
+            cfg = WP2PConfig(
+                am_enabled=False, mobility_aware_fetching=False,
+                identity_retention=False, role_reversal=False,
+                lihd_u_max=bandwidth, lihd_alpha=alpha, lihd_beta=beta,
+                lihd_interval=5.0, unchoke_slots=6, choke_interval=5.0,
+            )
+            x = sc.add_wireless_peer(
+                "x", rate=bandwidth, initial_pieces=random_piece_subset(rng, n, 0.4),
+                config=cfg, client_factory=WP2PClient, ap_queue_packets=20,
+            )
+            sc.start_all()
+            sc.run(until=10.0)
+            base = x.client.downloaded.total
+            sc.run(until=60.0)
+            vals.append((x.client.downloaded.total - base) / 50.0 / 1000.0)
+        ys.append(sum(vals) / len(vals))
+    return ExperimentResult(
+        figure="Ablation: LIHD α/β",
+        title="LIHD aggressiveness at 100 KB/s channel",
+        x_label="(α, β) setting",
+        y_label="Download throughput (KB/s)",
+        series=[Series("wP2P", list(range(len(pairs))), ys)],
+        notes="x axis: " + ", ".join(labels),
+        paper_expectation="α = β = 10 KB/s is the paper's Figure 8(c) setting",
+    )
+
+
+def test_ablation_lihd(benchmark):
+    result = run_figure(benchmark, ablate_lihd_alpha_beta, runs=2)
+    assert all(y > 0 for y in result.series[0].y)
+
+
+# ----------------------------------------------------------------------
+# Role reversal vs faster tracker refresh
+# ----------------------------------------------------------------------
+
+def ablate_role_reversal_vs_tracker(runs: int = 1, duration: float = 240.0) -> ExperimentResult:
+    """Can a default client approximate role reversal by announcing more
+    often?  Sweep the tracker interval for the default client and compare
+    against wP2P's role reversal at the paper's 2-minute mobility rate."""
+    interval = 60.0  # scaled "every 2 min" mobility
+    xs = [30.0, 60.0, 120.0]
+    default_ys: List[float] = []
+    for tracker_interval in xs:
+        vals = []
+        for r in range(runs):
+            vals.append(
+                _fig9c_run_custom(4300 + r, interval, duration, tracker_interval)
+            )
+        default_ys.append(sum(vals) / len(vals) / 1000.0)
+    wp2p_vals = [_fig9c_run(4300 + r, interval, wp2p=True, duration=duration) for r in range(runs)]
+    wp2p_y = sum(wp2p_vals) / len(wp2p_vals) / 1000.0
+    return ExperimentResult(
+        figure="Ablation: RR vs tracker refresh",
+        title="Role reversal vs shorter tracker intervals (default client)",
+        x_label="Tracker interval (s)",
+        y_label="Mobile-seed upload throughput (KB/s)",
+        series=[
+            Series("Default P2P", xs, default_ys),
+            Series("wP2P role reversal", xs, [wp2p_y] * len(xs)),
+        ],
+        paper_expectation=(
+            "faster tracker refresh helps the default client but cannot match "
+            "immediate client-side re-initiation"
+        ),
+    )
+
+
+def _fig9c_run_custom(seed: int, interval: float, duration: float, tracker_interval: float) -> float:
+    sc = SwarmScenario(
+        seed=seed, file_size=256 * 1024 * 1024, piece_length=131_072,
+        tracker_interval=tracker_interval,
+    )
+    leech_cfg = ClientConfig(unchoke_slots=3, choke_interval=5.0)
+    for i in range(4):
+        sc.add_wired_peer(f"f{i}", down_rate=500_000, up_rate=48_000, config=leech_cfg)
+    seeds = []
+    for i in range(2):
+        cfg = ClientConfig(unchoke_slots=3, choke_interval=5.0, task_restart_delay=15.0)
+        handle = sc.add_wireless_peer(f"m{i}", complete=True, rate=150_000, config=cfg)
+        seeds.append(handle)
+        sc.add_mobility(handle, interval=interval, downtime=2.0, jitter=interval * 0.2)
+    sc.start_all()
+    sc.run(until=duration)
+    return sum(h.client.uploaded.total for h in seeds) / duration / 2.0
+
+
+def test_ablation_role_reversal_vs_tracker(benchmark):
+    result = run_figure(benchmark, ablate_role_reversal_vs_tracker, runs=1)
+    wp2p = result.get("wP2P role reversal").y[0]
+    default_best = max(result.get("Default P2P").y)
+    assert wp2p > default_best * 0.9  # RR at least competitive with any refresh

@@ -1,0 +1,42 @@
+"""Figure 2 benchmarks: bi-directional TCP on the wireless leg (§3.2)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    drop_response_ratio,
+    fig2a,
+    fig2bc,
+    post_congestion_starvation,
+)
+
+from conftest import run_figure
+
+
+def test_fig2a_bitcp_vs_unitcp(benchmark):
+    """Figure 2(a): uni-TCP beats bi-TCP at every BER; both fall with BER."""
+    result = run_figure(benchmark, fig2a, runs=3, duration=30.0)
+    bi = result.get("Bi-TCP")
+    uni = result.get("Uni-TCP")
+    # shape: uni above bi everywhere
+    for x in uni.x:
+        assert uni.y_at(x) >= bi.y_at(x)
+    # shape: both decline from BER=0 to the highest BER
+    assert uni.y[-1] < uni.y[0]
+    assert bi.y[-1] < bi.y[0]
+
+
+def test_fig2bc_packets_after_congestion(benchmark):
+    """Figure 2(b, c): the wireless leg starves after congestion for uni-TCP
+    but stays loaded for bi-TCP (pure DUPACKs replace suppressed data)."""
+    result = run_figure(benchmark, fig2bc, duration=30.0)
+    uni = result.get("Uni-directional")
+    bi = result.get("Bi-directional")
+    uni_starved = post_congestion_starvation(uni, result.parameters["uni_drop_times"])
+    bi_starved = post_congestion_starvation(bi, result.parameters["bi_drop_times"])
+    print(f"starvation fraction: uni={uni_starved}, bi={bi_starved}")
+    assert uni_starved is not None and bi_starved is not None
+    assert uni_starved > bi_starved
+    assert bi_starved <= 0.25
+    bi_ratio = drop_response_ratio(bi, result.parameters["bi_drop_times"])
+    print(f"bi post/pre load ratio: {bi_ratio:.2f}")
+    assert 0.8 <= bi_ratio <= 1.2  # bi load unchanged through congestion

@@ -1,0 +1,46 @@
+"""Figure 9 benchmarks: mobility-aware fetching and role reversal (§5.2.3–5.2.4)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9ab, fig9c
+
+from conftest import run_figure
+
+
+def test_fig9a_mobility_aware_fetching_small(benchmark):
+    """Figure 9(a): MF keeps the 5 MB file largely playable mid-download."""
+    result = run_figure(benchmark, fig9ab, num_pieces=20, runs=10)
+    default = result.get("Default P2P")
+    wp2p = result.get("wP2P")
+    # wP2P several times more playable at 50% downloaded
+    assert wp2p.y_at(50.0) >= default.y_at(50.0) + 10.0
+    # and at least as good across the whole sweep
+    for x in range(10, 100, 10):
+        assert wp2p.y_at(float(x)) >= default.y_at(float(x)) - 5.0
+
+
+def test_fig9b_mobility_aware_fetching_large(benchmark):
+    """Figure 9(b): the gap is even starker for the 400-piece file."""
+    result = run_figure(benchmark, fig9ab, num_pieces=400, runs=5)
+    default = result.get("Default P2P")
+    wp2p = result.get("wP2P")
+    assert wp2p.y_at(50.0) >= default.y_at(50.0) + 10.0
+    assert default.y_at(50.0) <= 10.0  # rarest-first ~unplayable at 50%
+
+
+def test_fig9c_role_reversal(benchmark):
+    """Figure 9(c): role reversal preserves mobile seeds' upload throughput,
+    increasingly so at faster mobility."""
+    result = run_figure(benchmark, fig9c, runs=1, duration=300.0)
+    default = result.get("Default P2P")
+    wp2p = result.get("wP2P")
+    # wP2P ahead at every mobility rate
+    for x in default.x:
+        assert wp2p.y_at(x) >= default.y_at(x)
+    # the advantage grows with mobility rate
+    gain_slow = wp2p.y[0] / max(default.y[0], 1e-9)
+    gain_fast = wp2p.y[-1] / max(default.y[-1], 1e-9)
+    print(f"gain slow={gain_slow:.2f}, fast={gain_fast:.2f}")
+    assert gain_fast > gain_slow
+    # default degrades with mobility
+    assert default.y[-1] < default.y[0]

@@ -1,0 +1,29 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one figure of the paper.  Figures are full
+simulation campaigns, not microbenchmarks, so every bench runs exactly one
+round (``benchmark.pedantic``), prints the measured series next to the
+paper's expectation, and attaches the series to the benchmark record via
+``extra_info`` so ``--benchmark-json`` output carries the data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+from repro.analysis import ExperimentResult
+
+
+def run_figure(benchmark, fn: Callable[..., ExperimentResult], **params) -> ExperimentResult:
+    """Execute one figure reproduction under pytest-benchmark."""
+    result = benchmark.pedantic(lambda: fn(**params), rounds=1, iterations=1)
+    print()
+    print(result.table())
+    benchmark.extra_info["figure"] = result.figure
+    benchmark.extra_info["series"] = {
+        s.label: {"x": list(s.x), "y": list(s.y)} for s in result.series
+    }
+    benchmark.extra_info["paper_expectation"] = result.paper_expectation
+    return result

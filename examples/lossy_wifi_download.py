@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Downloading over a lossy Wi-Fi link: default client vs wP2P's
+Age-based Manipulation (paper §4.1 / Figure 8(a)).
+
+Two laptops on flaky coffee-shop Wi-Fi hold complementary halves of a file
+and trade them over one bi-directional TCP connection.  The wP2P laptop
+runs the AM Netfilter module: while the remote sender's window is small it
+sends its ACKs as separate 40-byte packets that survive the bit errors that
+kill 1.5 KB data frames, and during loss recovery it thins the pure-DUPACK
+flood.
+
+Run:  python examples/lossy_wifi_download.py
+"""
+
+from __future__ import annotations
+
+from repro.bittorrent.swarm import SwarmScenario
+from repro.wp2p import WP2PClient, WP2PConfig
+
+
+def trade_halves(ber: float, seed: int = 11, duration: float = 60.0):
+    """Run the two-laptop exchange; returns (default KB/s, wP2P KB/s, am)."""
+    scenario = SwarmScenario(
+        seed=seed, file_size=6 * 1024 * 1024, piece_length=65_536,
+        torrent_name="conference-slides",
+    )
+    pieces = scenario.torrent.num_pieces
+    evens = [i for i in range(pieces) if i % 2 == 0]
+    odds = [i for i in range(pieces) if i % 2 == 1]
+
+    default = scenario.add_wireless_peer(
+        "laptop-default", rate=100_000, ber=ber, initial_pieces=evens
+    )
+    am_config = WP2PConfig(
+        mobility_aware_fetching=False, identity_retention=False, role_reversal=False
+    )
+    wp2p = scenario.add_wireless_peer(
+        "laptop-wp2p", rate=100_000, ber=ber, initial_pieces=odds,
+        client_factory=WP2PClient, config=am_config,
+    )
+    scenario.start_all()
+    scenario.run(until=5.0)
+    base_default = default.client.downloaded.total
+    base_wp2p = wp2p.client.downloaded.total
+    scenario.run(until=5.0 + duration)
+    return (
+        (default.client.downloaded.total - base_default) / duration / 1000,
+        (wp2p.client.downloaded.total - base_wp2p) / duration / 1000,
+        wp2p.client.am,
+    )
+
+
+def main() -> None:
+    print(f"{'BER':>10}  {'default':>10}  {'wP2P':>10}  {'AM actions'}")
+    for ber in (1e-6, 5e-6, 1e-5, 1.5e-5, 3e-5):
+        default_kbps, wp2p_kbps, am = trade_halves(ber)
+        actions = (
+            f"{am.acks_decoupled} ACKs decoupled, "
+            f"{am.dupacks_dropped}/{am.dupacks_seen} DUPACKs dropped"
+        )
+        print(f"{ber:>10.1e}  {default_kbps:8.1f}KB  {wp2p_kbps:8.1f}KB  {actions}")
+    print("\nSame file, same radio, same losses — the wP2P laptop just")
+    print("manipulates *when* its ACK information rides alone.")
+
+
+if __name__ == "__main__":
+    main()

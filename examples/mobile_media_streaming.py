@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Streaming media on a mobile host: rarest-first vs wP2P's mobility-aware
+fetching when the network disappears mid-download.
+
+A commuter starts downloading a video and loses connectivity for good at
+60% downloaded (train enters a tunnel, paper §3.6).  How much of the video
+can they watch offline?
+
+* Default BitTorrent (rarest-first): pieces are scattered — almost nothing
+  from the head of the file is in sequence.
+* wP2P mobility-aware fetching: early pieces were fetched mostly in order
+  (pr, the rarest-first probability, grows with progress), so a large
+  prefix plays back.
+
+Run:  python examples/mobile_media_streaming.py
+"""
+
+from __future__ import annotations
+
+from repro.bittorrent import RarestFirstSelector
+from repro.bittorrent.swarm import SwarmScenario
+from repro.media import playable_fraction
+from repro.wp2p import WP2PClient, WP2PConfig
+
+
+def download_until(fraction: float, use_wp2p: bool, seed: int = 7):
+    """Download a 20-piece video until ``fraction`` complete, then cut the
+    network.  Returns (downloaded %, playable %)."""
+    scenario = SwarmScenario(
+        seed=seed,
+        file_size=20 * 262_144,  # 5 MB-class video, 20 pieces (paper Fig 4b/9a)
+        piece_length=262_144,
+        torrent_name="holiday-video",
+    )
+    for i in range(3):
+        scenario.add_wired_peer(f"seed-{i}", complete=True, up_rate=80_000)
+
+    if use_wp2p:
+        config = WP2PConfig(am_enabled=False, identity_retention=False, role_reversal=False)
+        mobile = scenario.add_wireless_peer(
+            "commuter", rate=200_000, client_factory=WP2PClient, config=config
+        )
+    else:
+        mobile = scenario.add_wireless_peer(
+            "commuter", rate=200_000, selector=RarestFirstSelector()
+        )
+
+    scenario.start_all()
+    while mobile.client.progress < fraction and scenario.sim.now < 600:
+        scenario.run(until=scenario.sim.now + 1.0)
+
+    # The tunnel: interface down, and it stays down.
+    from repro.net.mobility import disconnect_host
+
+    disconnect_host(mobile.host, scenario.internet, scenario.alloc)
+
+    downloaded = 100 * mobile.client.progress
+    playable = 100 * playable_fraction(scenario.torrent, mobile.client.manager.bitfield)
+    return downloaded, playable
+
+
+def main() -> None:
+    cutoff = 0.6
+    print(f"Scenario: connectivity lost for good at ~{cutoff:.0%} downloaded\n")
+    for label, use_wp2p in (("Default BitTorrent (rarest-first)", False),
+                            ("wP2P (mobility-aware fetching)", True)):
+        downloaded, playable = download_until(cutoff, use_wp2p)
+        bar = "#" * int(playable / 2)
+        print(f"{label}:")
+        print(f"  downloaded {downloaded:5.1f}% of the video")
+        print(f"  playable   {playable:5.1f}%  |{bar:<50}|")
+        print()
+    print("The same bytes were spent; only the fetch ORDER differs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so the package can be
+installed in environments without the ``wheel`` package (offline CI), where
+pip falls back to the legacy ``setup.py develop`` path for ``pip install -e``.
+"""
+
+from setuptools import setup
+
+setup()

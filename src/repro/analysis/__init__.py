@@ -1,0 +1,19 @@
+"""Result containers and reporting for experiments."""
+
+from .report import ascii_chart, campaign_report, compare_first_last
+from .stats import Summary, clearly_greater, relative_gain, summarize, t_critical_95
+from .series import ExperimentResult, Series, average_runs
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "average_runs",
+    "ascii_chart",
+    "campaign_report",
+    "compare_first_last",
+    "Summary",
+    "clearly_greater",
+    "relative_gain",
+    "summarize",
+    "t_critical_95",
+]

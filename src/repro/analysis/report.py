@@ -1,0 +1,84 @@
+"""Text rendering of experiment results: ASCII charts and campaign reports.
+
+Benchmarks and the CLI print these so a terminal user can eyeball the
+*shape* of each reproduced figure — which is exactly what the reproduction
+must preserve — without leaving the console.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .series import ExperimentResult, Series
+
+MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render the result's series as a shared-axes ASCII scatter chart."""
+    series = [s for s in result.series if len(s) > 0]
+    if not series:
+        return f"== {result.figure} == (no data)"
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    y_min = min(y_min, 0.0)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(s.x, s.y):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "?"
+
+    lines = [f"== {result.figure}: {result.title} =="]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:10.1f} |"
+        elif row_index == height - 1:
+            label = f"{y_min:10.1f} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{_fmt(x_min)}".ljust(width - 8) + f"{_fmt(x_max)}")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f"   [{result.x_label} -> {result.y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value and abs(value) < 1e-3:
+        return f"{value:.1e}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def campaign_report(results: Sequence[ExperimentResult], charts: bool = False) -> str:
+    """A multi-figure report: tables (and optionally charts) per result."""
+    parts: List[str] = []
+    for result in results:
+        parts.append(result.table())
+        if charts:
+            parts.append(ascii_chart(result))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def compare_first_last(series: Series) -> float:
+    """Relative change from the first to the last point (shape helper)."""
+    if not series.y or series.y[0] == 0:
+        return 0.0
+    return (series.y[-1] - series.y[0]) / abs(series.y[0])

@@ -1,0 +1,82 @@
+"""Multi-run statistics: means, confidence intervals, comparison tests.
+
+The paper reports 5/10/20-run averages; these helpers let experiments and
+benchmarks report the same along with dispersion, and let tests assert
+"A beats B" with an explicit margin rather than on a single noisy run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+# Two-sided t critical values at 95% for small samples (df 1..30).
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value (normal approximation beyond df=30)."""
+    if df < 1:
+        raise ValueError("df must be >= 1")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Sample summary: mean, standard deviation, 95% CI half-width."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci95: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.ci95:.2f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean / stdev / 95% confidence half-width of a sample."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n == 1:
+        return Summary(1, mean, 0.0, 0.0)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    stdev = math.sqrt(var)
+    ci95 = t_critical_95(n - 1) * stdev / math.sqrt(n)
+    return Summary(n, mean, stdev, ci95)
+
+
+def clearly_greater(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when sample ``a``'s 95% interval lies entirely above ``b``'s.
+
+    A deliberately conservative comparison for benchmark assertions: if it
+    returns True, the win is not a seed artifact.
+    """
+    sa, sb = summarize(a), summarize(b)
+    return sa.low > sb.high
+
+
+def relative_gain(a: Sequence[float], b: Sequence[float]) -> float:
+    """Mean(a) / mean(b) - 1, i.e. how much better a is than b."""
+    sb = summarize(b)
+    if sb.mean == 0:
+        return float("inf") if summarize(a).mean > 0 else 0.0
+    return summarize(a).mean / sb.mean - 1.0

@@ -1,0 +1,5 @@
+"""Application substrates beyond BitTorrent (bulk transfers, foreground apps)."""
+
+from .bulk import BulkSender, BulkServer, ForegroundDownload, Payload
+
+__all__ = ["BulkSender", "BulkServer", "ForegroundDownload", "Payload"]

@@ -1,0 +1,102 @@
+"""Piece bitfields."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class Bitfield:
+    """A fixed-size set of piece indices with protocol wire sizing."""
+
+    __slots__ = ("size", "_bits")
+
+    def __init__(self, size: int, have: Iterable[int] = ()) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self._bits = bytearray((size + 7) // 8)
+        for index in have:
+            self.set(index)
+
+    @classmethod
+    def full(cls, size: int) -> "Bitfield":
+        bf = cls(size)
+        for i in range(size):
+            bf.set(i)
+        return bf
+
+    # ------------------------------------------------------------------
+    def set(self, index: int) -> None:
+        self._check(index)
+        self._bits[index >> 3] |= 0x80 >> (index & 7)
+
+    def clear(self, index: int) -> None:
+        self._check(index)
+        self._bits[index >> 3] &= ~(0x80 >> (index & 7)) & 0xFF
+
+    def has(self, index: int) -> bool:
+        self._check(index)
+        return bool(self._bits[index >> 3] & (0x80 >> (index & 7)))
+
+    def __contains__(self, index: int) -> bool:
+        return 0 <= index < self.size and self.has(index)
+
+    def count(self) -> int:
+        return sum(bin(b).count("1") for b in self._bits)
+
+    @property
+    def complete(self) -> bool:
+        return self.count() == self.size
+
+    @property
+    def empty(self) -> bool:
+        return all(b == 0 for b in self._bits)
+
+    def indices(self) -> Iterator[int]:
+        for i in range(self.size):
+            if self.has(i):
+                yield i
+
+    def missing(self) -> Iterator[int]:
+        for i in range(self.size):
+            if not self.has(i):
+                yield i
+
+    def copy(self) -> "Bitfield":
+        bf = Bitfield(self.size)
+        bf._bits[:] = self._bits
+        return bf
+
+    def intersection_count(self, other: "Bitfield") -> int:
+        if other.size != self.size:
+            raise ValueError("bitfield size mismatch")
+        return sum(bin(a & b).count("1") for a, b in zip(self._bits, other._bits))
+
+    def has_piece_other_is_missing(self, other: "Bitfield") -> bool:
+        """True if we hold any piece ``other`` lacks (interest test)."""
+        if other.size != self.size:
+            raise ValueError("bitfield size mismatch")
+        return any(a & ~b & 0xFF for a, b in zip(self._bits, other._bits))
+
+    @property
+    def wire_bytes(self) -> int:
+        """Payload bytes of the BITFIELD message body."""
+        return len(self._bits)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitfield):
+            return NotImplemented
+        return self.size == other.size and self._bits == other._bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bitfield({self.count()}/{self.size})"
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"piece index {index} out of range (size {self.size})")
+
+    def to_index_list(self) -> List[int]:
+        return list(self.indices())

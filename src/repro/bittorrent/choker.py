@@ -1,0 +1,97 @@
+"""Tit-for-tat choking.
+
+The standard BitTorrent choker (§2.2): every round (10 s) the client
+unchokes the interested peers giving it the best rates — download rate from
+the peer while leeching, upload rate to the peer while seeding — plus one
+*optimistic unchoke* rotated every third round so newcomers can bootstrap.
+
+Rate ranking folds in the :class:`~repro.bittorrent.ledger.PeerLedger`
+credit for the peer's ID, which is what makes identity retention matter: a
+reconnecting peer with a known ID ranks on its history, a fresh ID ranks
+zero and must win the optimistic slot first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..sim import PeriodicTask, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .client import BitTorrentClient
+    from .peer import PeerConnection
+
+
+class TitForTatChoker:
+    """Round-based choking policy for one client."""
+
+    def __init__(
+        self,
+        client: "BitTorrentClient",
+        interval: float = 10.0,
+        slots: int = 3,
+        optimistic_every: int = 3,
+    ) -> None:
+        if slots < 0:
+            raise ValueError("slots must be non-negative")
+        if optimistic_every < 1:
+            raise ValueError("optimistic_every must be >= 1")
+        self.client = client
+        self.slots = slots
+        self.optimistic_every = optimistic_every
+        self._task = PeriodicTask(client.sim, interval, self.run_round)
+        self._round = 0
+        self._optimistic: Optional["PeerConnection"] = None
+        self._rng = client.sim.rng.stream(f"choker.{client.name}")
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._task.start(first_delay=min(1.0, self._task.interval))
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    def rank_rate(self, peer: "PeerConnection") -> float:
+        """Ranking key: live rate plus persistent per-ID ledger credit."""
+        if self.client.manager.complete:
+            return peer.upload_meter.rate()
+        live = peer.download_meter.rate()
+        credit = self.client.ledger.rate(peer.peer_id) if peer.peer_id else 0.0
+        return live + credit
+
+    def run_round(self) -> None:
+        self._round += 1
+        self.rounds_run += 1
+        peers = [p for p in self.client.connected_peers() if p.ready]
+        interested = [p for p in peers if p.peer_interested]
+
+        candidates = interested
+        if self.client.config.anti_snubbing:
+            # Snubbing peers may only win the optimistic slot.
+            timeout = self.client.config.snub_timeout
+            candidates = [p for p in interested if not p.snubbed(timeout)]
+        ranked = sorted(candidates, key=self.rank_rate, reverse=True)
+        unchoke = set(ranked[: self.slots])
+
+        if self._round % self.optimistic_every == 1 or self._optimistic is None or self._optimistic.closed:
+            self._rotate_optimistic(interested, unchoke)
+        if self._optimistic is not None and not self._optimistic.closed:
+            unchoke.add(self._optimistic)
+
+        for peer in peers:
+            peer.set_choking(peer not in unchoke)
+
+    # ------------------------------------------------------------------
+    def _rotate_optimistic(
+        self,
+        interested: List["PeerConnection"],
+        already: set,
+    ) -> None:
+        candidates = [p for p in interested if p not in already]
+        self._optimistic = self._rng.choice(candidates) if candidates else None
+
+    @property
+    def optimistic_peer(self) -> Optional["PeerConnection"]:
+        return self._optimistic

@@ -1,0 +1,238 @@
+"""Piece and block bookkeeping for a downloading client.
+
+Tracks which pieces are complete, which blocks of in-progress pieces are
+missing/requested/held, enforces the standard "finish partial pieces first"
+priority, expires stale requests, and simulates hash verification (with an
+optional corruption probability for failure-injection tests).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .bitfield import Bitfield
+from .metainfo import Torrent
+from .selection import PieceSelector, SelectionContext
+
+MISSING = 0
+REQUESTED = 1
+HAVE = 2
+
+BlockKey = Tuple[int, int]  # (piece index, begin offset)
+
+
+class _PartialPiece:
+    """Block states for one in-progress piece."""
+
+    __slots__ = ("index", "states", "offsets", "requested_at")
+
+    def __init__(self, torrent: Torrent, index: int) -> None:
+        self.index = index
+        self.offsets = torrent.block_offsets(index)
+        self.states = [MISSING] * len(self.offsets)
+        self.requested_at: Dict[int, float] = {}
+
+    def block_number(self, begin: int) -> Optional[int]:
+        for n, (offset, _length) in enumerate(self.offsets):
+            if offset == begin:
+                return n
+        return None
+
+    @property
+    def complete(self) -> bool:
+        return all(s == HAVE for s in self.states)
+
+    def first_available(self) -> Optional[int]:
+        for n, state in enumerate(self.states):
+            if state == MISSING:
+                return n
+        return None
+
+
+class PieceManager:
+    """Download-side state for one torrent at one client."""
+
+    def __init__(
+        self,
+        torrent: Torrent,
+        complete: bool = False,
+        initial_pieces: Optional[Iterable[int]] = None,
+        corrupt_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.torrent = torrent
+        if complete:
+            self.bitfield = Bitfield.full(torrent.num_pieces)
+        else:
+            self.bitfield = Bitfield(torrent.num_pieces, have=initial_pieces or ())
+        self._partials: Dict[int, _PartialPiece] = {}
+        self.corrupt_probability = corrupt_probability
+        self._rng = rng or random.Random(0)
+        self.bytes_completed = sum(
+            torrent.piece_size(i) for i in self.bitfield.indices()
+        )
+        self.duplicate_blocks = 0
+        self.hash_failures = 0
+        self.completion_order: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self.bitfield.complete
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the file's bytes verified complete."""
+        return self.bytes_completed / self.torrent.total_size
+
+    def have_piece(self, index: int) -> bool:
+        return self.bitfield.has(index)
+
+    def missing_pieces(self) -> List[int]:
+        return list(self.bitfield.missing())
+
+    @property
+    def partial_pieces(self) -> List[int]:
+        return list(self._partials)
+
+    # ------------------------------------------------------------------
+    # Request generation
+    # ------------------------------------------------------------------
+    def next_request(
+        self,
+        peer_bitfield: Bitfield,
+        selector: PieceSelector,
+        ctx: SelectionContext,
+    ) -> Optional[Tuple[int, int, int]]:
+        """Choose the next ``(index, begin, length)`` to request from a peer.
+
+        Strict priority: finish an in-progress piece the peer holds before
+        starting a new one (standard client behaviour — it turns partial
+        pieces into advertisable HAVEs quickly).
+        """
+        for partial in self._partials.values():
+            if peer_bitfield.has(partial.index):
+                block = partial.first_available()
+                if block is not None:
+                    begin, length = partial.offsets[block]
+                    return partial.index, begin, length
+
+        candidates = [
+            i
+            for i in self.bitfield.missing()
+            if i not in self._partials and peer_bitfield.has(i)
+        ]
+        choice = selector.choose(candidates, ctx)
+        if choice is None:
+            return None
+        partial = _PartialPiece(self.torrent, choice)
+        self._partials[choice] = partial
+        begin, length = partial.offsets[0]
+        return choice, begin, length
+
+    def mark_requested(self, index: int, begin: int, now: float) -> None:
+        partial = self._partials.get(index)
+        if partial is None:
+            return
+        block = partial.block_number(begin)
+        if block is not None and partial.states[block] == MISSING:
+            partial.states[block] = REQUESTED
+            partial.requested_at[block] = now
+
+    def release_request(self, index: int, begin: int) -> None:
+        """Return a requested block to MISSING (peer died / choked us)."""
+        partial = self._partials.get(index)
+        if partial is None:
+            return
+        block = partial.block_number(begin)
+        if block is not None and partial.states[block] == REQUESTED:
+            partial.states[block] = MISSING
+            partial.requested_at.pop(block, None)
+
+    def expire_requests(self, now: float, timeout: float) -> List[BlockKey]:
+        """Release requests older than ``timeout``; returns released keys."""
+        released: List[BlockKey] = []
+        for partial in self._partials.values():
+            for block, at in list(partial.requested_at.items()):
+                if now - at >= timeout:
+                    partial.states[block] = MISSING
+                    del partial.requested_at[block]
+                    released.append((partial.index, partial.offsets[block][0]))
+        return released
+
+    # ------------------------------------------------------------------
+    # Block arrival
+    # ------------------------------------------------------------------
+    def receive_block(self, index: int, begin: int, length: int) -> Optional[int]:
+        """Record a received block.
+
+        Returns the piece index if this block completed (and verified) the
+        piece, else None.  A corrupted piece is reset to MISSING entirely,
+        as real clients re-download failed pieces.
+        """
+        if self.bitfield.has(index):
+            self.duplicate_blocks += 1
+            return None
+        partial = self._partials.get(index)
+        if partial is None:
+            # unsolicited block for a piece we never started: accept it
+            partial = _PartialPiece(self.torrent, index)
+            self._partials[index] = partial
+        block = partial.block_number(begin)
+        if block is None:
+            return None
+        if partial.states[block] == HAVE:
+            self.duplicate_blocks += 1
+            return None
+        partial.states[block] = HAVE
+        partial.requested_at.pop(block, None)
+        if not partial.complete:
+            return None
+        # Piece complete: verify.
+        del self._partials[index]
+        if self.corrupt_probability > 0 and self._rng.random() < self.corrupt_probability:
+            self.hash_failures += 1
+            return None
+        self.bitfield.set(index)
+        self.bytes_completed += self.torrent.piece_size(index)
+        self.completion_order.append(index)
+        return index
+
+    def endgame_candidates(self, peer_bitfield: Bitfield) -> List[Tuple[int, int, int]]:
+        """Blocks already requested elsewhere that ``peer_bitfield`` covers.
+
+        Endgame mode re-requests these from additional peers so the last
+        few blocks are not hostage to one slow connection.
+        """
+        out: List[Tuple[int, int, int]] = []
+        for partial in self._partials.values():
+            if not peer_bitfield.has(partial.index):
+                continue
+            for block, state in enumerate(partial.states):
+                if state == REQUESTED:
+                    begin, length = partial.offsets[block]
+                    out.append((partial.index, begin, length))
+        return out
+
+    def all_remaining_requested(self) -> bool:
+        """True when every missing block is already requested (endgame)."""
+        if self.complete:
+            return False
+        for partial in self._partials.values():
+            if any(state == MISSING for state in partial.states):
+                return False
+        # pieces not yet started still have unrequested blocks
+        return not any(
+            i not in self._partials for i in self.bitfield.missing()
+        )
+
+    # ------------------------------------------------------------------
+    def outstanding_requests(self) -> List[BlockKey]:
+        out: List[BlockKey] = []
+        for partial in self._partials.values():
+            for block in partial.requested_at:
+                out.append((partial.index, partial.offsets[block][0]))
+        return out

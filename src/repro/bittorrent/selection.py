@@ -1,0 +1,71 @@
+"""Piece-selection strategies.
+
+The client asks its selector which piece to start next, given the candidate
+set (pieces the unchoking peer has and we lack) and current availability
+(how many connected peers hold each piece).  Strategies implemented here:
+
+* :class:`RarestFirstSelector` — standard BitTorrent behaviour (§2.2);
+* :class:`SequentialSelector` — in-order fetching (streaming-friendly);
+* :class:`RandomSelector` — the random baseline the paper mentions.
+
+wP2P's mobility-aware fetcher (:mod:`repro.wp2p.mobility_aware`) composes
+the first two probabilistically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+
+@dataclass
+class SelectionContext:
+    """Facts a selector may condition on."""
+
+    availability: Dict[int, int]
+    progress: float
+    now: float
+    rng: random.Random
+
+
+class PieceSelector:
+    """Strategy interface: pick the next piece to begin downloading."""
+
+    name = "base"
+
+    def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
+        raise NotImplementedError
+
+
+class RarestFirstSelector(PieceSelector):
+    """Pick the candidate held by the fewest connected peers (ties random)."""
+
+    name = "rarest-first"
+
+    def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
+        if not candidates:
+            return None
+        min_avail = min(ctx.availability.get(i, 0) for i in candidates)
+        rarest = [i for i in candidates if ctx.availability.get(i, 0) == min_avail]
+        return ctx.rng.choice(rarest)
+
+
+class SequentialSelector(PieceSelector):
+    """Pick the lowest-index candidate (in-order media fetching)."""
+
+    name = "sequential"
+
+    def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
+        return min(candidates) if candidates else None
+
+
+class RandomSelector(PieceSelector):
+    """Pick a uniformly random candidate."""
+
+    name = "random"
+
+    def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
+        if not candidates:
+            return None
+        return ctx.rng.choice(list(candidates))

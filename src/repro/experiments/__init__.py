@@ -1,0 +1,74 @@
+"""Experiment reproductions — one function per figure of the paper.
+
+========  ==========================================  =====================
+figure    content                                     function
+========  ==========================================  =====================
+2(a)      bi- vs uni-TCP throughput over BER          :func:`fig2a`
+2(b, c)   wireless-leg packets around congestion      :func:`fig2bc`
+3(a)      download vs upload cap, wired               :func:`fig3a`
+3(b)      download vs upload cap, wireless            :func:`fig3b`
+3(c)      incentives x mobility download progress     :func:`fig3c`
+4(a)      server mobility vs fixed-peer throughput    :func:`fig4a`
+4(b, c)   rarest-first playability (20/400 pieces)    :func:`fig4bc`
+8(a)      AM vs default over BER                      :func:`fig8a`
+8(b)      identity retention under mobility           :func:`fig8b`
+8(c)      LIHD vs bandwidth                           :func:`fig8c`
+9(a, b)   mobility-aware fetching playability         :func:`fig9ab`
+9(c)      role reversal upload throughput             :func:`fig9c`
+========  ==========================================  =====================
+
+Each returns an :class:`repro.analysis.ExperimentResult` whose ``table()``
+prints the same rows/series the paper plots, alongside the paper's
+qualitative expectation.
+"""
+
+from .base import (
+    BulkSender,
+    Payload,
+    TransferStats,
+    WirelessPairTopology,
+    mean_over_seeds,
+    random_piece_subset,
+    run_transfer,
+)
+from .fig2_bitcp import (
+    cluster_drops,
+    drop_response_ratio,
+    fig2a,
+    fig2bc,
+    post_congestion_starvation,
+)
+from .fig3_incentives import fig3a, fig3b, fig3c
+from .fig4_mobility import fig4a, fig4bc, playability_run
+from .fig8_wp2p import am_only_config, fig8a, fig8b, fig8c, ia_config
+from .fig9_wp2p import fig9ab, fig9c, mf_only_config, rr_only_config
+
+__all__ = [
+    "BulkSender",
+    "Payload",
+    "TransferStats",
+    "WirelessPairTopology",
+    "mean_over_seeds",
+    "random_piece_subset",
+    "run_transfer",
+    "cluster_drops",
+    "drop_response_ratio",
+    "fig2a",
+    "fig2bc",
+    "post_congestion_starvation",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig4a",
+    "fig4bc",
+    "playability_run",
+    "am_only_config",
+    "ia_config",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig9ab",
+    "fig9c",
+    "mf_only_config",
+    "rr_only_config",
+]

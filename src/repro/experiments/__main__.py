@@ -1,0 +1,93 @@
+"""Command-line runner for the figure reproductions.
+
+Usage::
+
+    python -m repro.experiments fig2a
+    python -m repro.experiments fig4bc --num-pieces 400
+    python -m repro.experiments all          # everything (slow)
+
+Each command runs the experiment at its benchmark-scale defaults and prints
+the paper-style table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from . import (
+    fig2a,
+    fig2bc,
+    fig3a,
+    fig3b,
+    fig3c,
+    fig4a,
+    fig4bc,
+    fig8a,
+    fig8b,
+    fig8c,
+    fig9ab,
+    fig9c,
+)
+
+SIMPLE: Dict[str, Callable] = {
+    "fig2a": fig2a,
+    "fig2bc": fig2bc,
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig3c": fig3c,
+    "fig4a": fig4a,
+    "fig8a": fig8a,
+    "fig8b": fig8b,
+    "fig8c": fig8c,
+    "fig9c": fig9c,
+}
+
+PIECEWISE: Dict[str, Callable] = {
+    "fig4bc": fig4bc,
+    "fig9ab": fig9ab,
+}
+
+
+def run_one(name: str, num_pieces: int, chart: bool = False) -> None:
+    start = time.time()
+    if name in SIMPLE:
+        result = SIMPLE[name]()
+    elif name in PIECEWISE:
+        result = PIECEWISE[name](num_pieces=num_pieces)
+    else:
+        raise SystemExit(f"unknown figure {name!r}; choose from "
+                         f"{sorted(SIMPLE) + sorted(PIECEWISE)} or 'all'")
+    print(result.table())
+    if chart:
+        from ..analysis import ascii_chart
+
+        print()
+        print(ascii_chart(result))
+    print(f"[{time.time() - start:.1f}s]")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce one figure of the paper and print its table.",
+    )
+    parser.add_argument("figure", help="fig2a|fig2bc|fig3a|fig3b|fig3c|fig4a|"
+                                       "fig4bc|fig8a|fig8b|fig8c|fig9ab|fig9c|all")
+    parser.add_argument("--num-pieces", type=int, default=20,
+                        help="piece count for fig4bc/fig9ab (20 or 400)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render an ASCII chart of the series")
+    args = parser.parse_args(argv)
+    if args.figure == "all":
+        for name in list(SIMPLE) + list(PIECEWISE):
+            run_one(name, args.num_pieces, chart=args.chart)
+            print()
+    else:
+        run_one(args.figure, args.num_pieces, chart=args.chart)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,62 @@
+"""IPv4-style addressing and address allocation.
+
+Addresses are plain dotted-quad strings; :class:`AddressAllocator` hands out
+fresh ones.  Mobility is modelled exactly as the paper describes ("the IP
+addresses of the clients are changed ... using ifup/ifdown"): a host releases
+its address and acquires a new one, so any state keyed by the old address —
+routes, TCP 4-tuples, tracker entries — goes stale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+
+def make_address(network: int, host: int) -> str:
+    """Format a dotted-quad address from a 16-bit network and host index."""
+    if not 0 <= network <= 0xFFFF:
+        raise ValueError("network must fit in 16 bits")
+    if not 1 <= host <= 0xFFFE:
+        raise ValueError("host must be in [1, 65534]")
+    return f"10.{network >> 8 & 0xFF}.{network & 0xFF}.{host & 0xFF}" if host <= 0xFE else (
+        f"172.{network & 0x7F}.{host >> 8 & 0xFF}.{host & 0xFF}"
+    )
+
+
+class AddressAllocator:
+    """Hands out unique addresses and tracks live assignments.
+
+    A released address is never re-issued within a run; that mirrors DHCP
+    pools large enough that a handing-off host practically never gets its
+    old address back (which is what breaks peer identity in the paper).
+    """
+
+    def __init__(self, prefix: str = "10.0") -> None:
+        self._prefix = prefix
+        self._counter = 0
+        self._live: Set[str] = set()
+
+    def allocate(self) -> str:
+        """Return a fresh, never-before-issued address."""
+        self._counter += 1
+        third = (self._counter >> 8) & 0xFF
+        fourth = self._counter & 0xFF
+        if self._counter > 0xFFFF:
+            raise RuntimeError("address pool exhausted")
+        addr = f"{self._prefix}.{third}.{fourth}"
+        self._live.add(addr)
+        return addr
+
+    def release(self, address: str) -> None:
+        """Mark ``address`` as no longer live (idempotent)."""
+        self._live.discard(address)
+
+    def is_live(self, address: str) -> bool:
+        return address in self._live
+
+    @property
+    def live_addresses(self) -> Set[str]:
+        return set(self._live)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._live))

@@ -1,0 +1,137 @@
+"""Wired access links.
+
+A :class:`WiredAccessLink` joins one host to the Internet core with
+independent uplink/downlink capacities — the paper's fixed peers sit on
+asymmetric residential links ("Comcast Cable ... 4 Mbps downloading rate and
+384 Kbps upload rate").  Each direction is a store-and-forward transmitter
+fed by a drop-tail queue; because the directions are independent, uploads
+never contend with downloads, which is precisely the property the shared
+wireless channel lacks (Figure 3(a) vs 3(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Simulator
+from .internet import Internet
+from .host import Host
+from .packet import Packet
+from .queues import DropTailQueue
+
+
+class _Direction:
+    """One store-and-forward pipe: queue -> transmitter -> delivery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bytes_per_s: float,
+        prop_delay: float,
+        queue_packets: int,
+        deliver: Callable[[Packet], None],
+    ) -> None:
+        if rate_bytes_per_s <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate_bytes_per_s
+        self.prop_delay = prop_delay
+        self.queue = DropTailQueue(name, capacity_packets=queue_packets)
+        self.deliver = deliver
+        self._busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    def send(self, packet: Packet) -> None:
+        if self.queue.enqueue(packet, self.sim.now) and not self._busy:
+            self._serve()
+
+    def set_rate(self, rate_bytes_per_s: float) -> None:
+        if rate_bytes_per_s <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate_bytes_per_s
+
+    def _serve(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size_bytes / self.rate
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+        self.sim.schedule(self.prop_delay, self.deliver, packet)
+        self._serve()
+
+
+class WiredAccessLink:
+    """Full-duplex access link: host <-> Internet core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        internet: Internet,
+        down_rate: float = 500_000.0,
+        up_rate: float = 48_000.0,
+        prop_delay: float = 0.002,
+        queue_packets: int = 100,
+    ) -> None:
+        """Rates are in bytes/second.  Defaults approximate the paper's
+        4 Mbps / 384 Kbps cable profile."""
+        self.sim = sim
+        self.host = host
+        self.internet = internet
+        self.uplink = _Direction(
+            sim, f"{host.name}.uplink", up_rate, prop_delay, queue_packets, internet.forward
+        )
+        self.downlink = _Direction(
+            sim,
+            f"{host.name}.downlink",
+            down_rate,
+            prop_delay,
+            queue_packets,
+            host.interface.receive,
+        )
+        host.interface.attach(self)
+
+    # Host-side API ------------------------------------------------------
+    def send_from_host(self, packet: Packet) -> None:
+        self.uplink.send(packet)
+
+    def host_detached(self) -> None:
+        self.uplink.queue.clear()
+        self.downlink.queue.clear()
+
+    # Core-side API ------------------------------------------------------
+    def deliver_from_core(self, packet: Packet) -> None:
+        self.downlink.send(packet)
+
+
+def attach_wired_host(
+    sim: Simulator,
+    host: Host,
+    internet: Internet,
+    ip: str,
+    down_rate: float = 500_000.0,
+    up_rate: float = 48_000.0,
+    prop_delay: float = 0.002,
+    queue_packets: int = 100,
+) -> WiredAccessLink:
+    """Wire a host to the core and bring it up at ``ip`` in one call."""
+    link = WiredAccessLink(
+        sim,
+        host,
+        internet,
+        down_rate=down_rate,
+        up_rate=up_rate,
+        prop_delay=prop_delay,
+        queue_packets=queue_packets,
+    )
+    internet.register(ip, link)
+    host.bring_up(ip)
+    return link

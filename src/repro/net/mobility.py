@@ -1,0 +1,142 @@
+"""Mobility: periodic IP renumbering and disconnection windows.
+
+The paper emulates mobility "by changing the IP addresses of the clients
+using the ifup/ifdown commands" — a handoff is a short interface-down window
+followed by coming back up with a *new* address.  That single mechanism
+produces every mobility pathology the paper studies: stranded TCP
+connections at fixed peers, peer-ID regeneration (incentive loss), and
+unreachability of the mobile host acting as server.
+
+:class:`MobilityController` drives the schedule; hosts and applications react
+through the host's ``on_ip_change`` listeners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Simulator
+from .addressing import AddressAllocator
+from .internet import Attachment, Internet
+from .host import Host
+
+
+class MobilityController:
+    """Periodically hands a host off to a new IP address.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between successive handoffs ("mobility rate" in the paper's
+        figures: e.g. every 0.5 / 1 / 1.5 / 2 minutes).
+    downtime:
+        Interface-down window during each handoff (ifdown -> ifup latency
+        plus DHCP).  Defaults to one second.
+    jitter:
+        Uniform +/- jitter applied to each interval so multiple mobile
+        hosts do not hand off in lockstep.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        internet: Internet,
+        allocator: AddressAllocator,
+        interval: float,
+        downtime: float = 1.0,
+        jitter: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if downtime < 0:
+            raise ValueError("downtime must be non-negative")
+        if jitter < 0 or jitter >= interval:
+            raise ValueError("jitter must be in [0, interval)")
+        self.sim = sim
+        self.host = host
+        self.internet = internet
+        self.allocator = allocator
+        self.interval = interval
+        self.downtime = downtime
+        self.jitter = jitter
+        self._rng = sim.rng.stream(f"mobility.{host.name}")
+        self._running = False
+        self._event = None
+        self.handoffs = 0
+        self.history: List[float] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MobilityController":
+        """Begin the handoff schedule (first handoff one interval from now)."""
+        if self._running:
+            return self
+        self._running = True
+        self._schedule_next()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _schedule_next(self) -> None:
+        delay = self.interval
+        if self.jitter > 0:
+            delay += self._rng.uniform(-self.jitter, self.jitter)
+        self._event = self.sim.schedule(delay, self._handoff)
+
+    def _handoff(self) -> None:
+        self._event = None
+        if not self._running:
+            return
+        self.handoffs += 1
+        self.history.append(self.sim.now)
+        disconnect_host(self.host, self.internet, self.allocator)
+        self.sim.schedule(self.downtime, self._reconnect)
+
+    def _reconnect(self) -> None:
+        reconnect_host(self.host, self.internet, self.allocator)
+        if self._running:
+            self._schedule_next()
+
+
+def disconnect_host(host: Host, internet: Internet, allocator: AddressAllocator) -> Optional[str]:
+    """Take a host off the network: unroute and release its address.
+
+    Returns the released address (or None if the host was already down).
+    The access link keeps its core attachment so the same link serves the
+    new address after :func:`reconnect_host`.
+    """
+    old = host.ip
+    if old is not None:
+        internet.unregister(old)
+        allocator.release(old)
+    link = host.interface.link
+    host.take_down()
+    if link is not None:
+        link.host_detached()
+    return old
+
+
+def reconnect_host(
+    host: Host,
+    internet: Internet,
+    allocator: AddressAllocator,
+    ip: Optional[str] = None,
+) -> str:
+    """Bring a host back up at ``ip`` (freshly allocated by default)."""
+    link = host.interface.link
+    if link is None:
+        raise RuntimeError(f"host {host.name} has no access link")
+    new_ip = ip if ip is not None else allocator.allocate()
+    internet.register(new_ip, _as_attachment(link))
+    host.bring_up(new_ip)
+    return new_ip
+
+
+def _as_attachment(link: object) -> Attachment:
+    if not hasattr(link, "deliver_from_core"):
+        raise TypeError(f"{link!r} is not a core attachment")
+    return link  # type: ignore[return-value]

@@ -1,0 +1,226 @@
+"""The shared half-duplex wireless channel (WLAN access link).
+
+This is the library's stand-in for the paper's "ns-2 based wireless
+emulators": one 802.11-style cell joining a mobile host to the Internet
+through an access point.  Three properties drive every wireless effect the
+paper measures, and all three are modelled explicitly:
+
+* **Shared medium** — uplink and downlink transmissions serialize on one
+  channel, so uploads steal airtime from downloads (Figure 3(b)'s peak).
+* **Random bit errors** — each transmission is lost with probability
+  ``1 - (1 - BER)^(8 * size)``; long packets (data with piggybacked ACKs)
+  die more often than 40-byte pure ACKs (§3.2).
+* **Finite buffers** — the access point's downlink queue is drop-tail, so
+  congestion shows up as timestamped buffer drops (Figure 2(b, c)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim import Simulator, TimeSeries
+from .internet import Internet
+from .host import Host
+from .packet import DropRecord, Packet, loss_probability
+from .queues import DropTailQueue
+
+UPLINK = "up"
+DOWNLINK = "down"
+
+MAC_OVERHEAD_BYTES = 34
+"""Per-frame MAC/PHY overhead added to airtime (header + preamble equiv)."""
+
+
+class WirelessChannel:
+    """One wireless cell: station <-> AP <-> Internet core.
+
+    Parameters
+    ----------
+    rate:
+        Channel capacity in bytes/second (shared by both directions).
+    ber:
+        Bit error rate applied independently per transmitted frame.
+    prop_delay:
+        Air propagation delay (effectively zero indoors; kept configurable).
+    ap_queue_packets / station_queue_packets:
+        Drop-tail buffer sizes at the access point (downlink) and the
+        station (uplink).
+    mac_efficiency:
+        Fraction of the nominal rate usable for frames, folding in
+        contention/backoff overheads (0 < eff <= 1).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        internet: Internet,
+        rate: float = 100_000.0,
+        ber: float = 0.0,
+        prop_delay: float = 0.0005,
+        ap_queue_packets: int = 50,
+        station_queue_packets: int = 50,
+        mac_efficiency: float = 1.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= ber < 1.0:
+            raise ValueError("ber must be in [0, 1)")
+        if not 0.0 < mac_efficiency <= 1.0:
+            raise ValueError("mac_efficiency must be in (0, 1]")
+        self.sim = sim
+        self.host = host
+        self.internet = internet
+        self.rate = rate
+        self.ber = ber
+        self.prop_delay = prop_delay
+        self.mac_efficiency = mac_efficiency
+        self.name = name or f"wlan.{host.name}"
+        self._rng = sim.rng.stream(f"{self.name}.loss")
+
+        self.uplink_queue = DropTailQueue(
+            f"{self.name}.station", capacity_packets=station_queue_packets
+        )
+        self.downlink_queue = DropTailQueue(
+            f"{self.name}.ap", capacity_packets=ap_queue_packets
+        )
+        self._busy = False
+        self._arrival_seq = 0
+        self._arrival: dict[int, Tuple[float, int]] = {}
+
+        # Instrumentation -------------------------------------------------
+        self.client_tx_series = TimeSeries(f"{self.name}.client_tx")
+        self.loss_records: List[DropRecord] = []
+        self.bytes_up = 0
+        self.bytes_down = 0
+        self.frames_up = 0
+        self.frames_down = 0
+        self.frames_lost = 0
+        self.airtime_busy = 0.0
+
+        host.interface.attach(self)
+
+    # ------------------------------------------------------------------
+    # Dynamic reconfiguration (the emulator knobs)
+    # ------------------------------------------------------------------
+    def set_ber(self, ber: float) -> None:
+        if not 0.0 <= ber < 1.0:
+            raise ValueError("ber must be in [0, 1)")
+        self.ber = ber
+
+    def set_rate(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    # ------------------------------------------------------------------
+    # Host-side API (station transmits)
+    # ------------------------------------------------------------------
+    def send_from_host(self, packet: Packet) -> None:
+        self._enqueue(self.uplink_queue, packet)
+
+    def host_detached(self) -> None:
+        """Interface went down: flush both buffers (frames in the air at the
+        old address will be unroutable at the core anyway)."""
+        self.uplink_queue.clear()
+        self.downlink_queue.clear()
+
+    # ------------------------------------------------------------------
+    # Core-side API (AP transmits)
+    # ------------------------------------------------------------------
+    def deliver_from_core(self, packet: Packet) -> None:
+        self._enqueue(self.downlink_queue, packet)
+
+    # ------------------------------------------------------------------
+    # The shared medium
+    # ------------------------------------------------------------------
+    def _enqueue(self, queue: DropTailQueue, packet: Packet) -> None:
+        if queue.enqueue(packet, self.sim.now):
+            self._arrival_seq += 1
+            self._arrival[packet.packet_id] = (self.sim.now, self._arrival_seq)
+            if not self._busy:
+                self._serve()
+        # overflow drops are recorded by the queue itself
+
+    def _pick_next(self) -> Optional[Tuple[DropTailQueue, str]]:
+        """FIFO-by-arrival arbitration across the two directions.
+
+        Approximates CSMA fairness: whichever end's head-of-line frame has
+        waited longest transmits next.
+        """
+        up = self.uplink_queue.peek()
+        down = self.downlink_queue.peek()
+        if up is None and down is None:
+            return None
+        if up is None:
+            return self.downlink_queue, DOWNLINK
+        if down is None:
+            return self.uplink_queue, UPLINK
+        up_key = self._arrival.get(up.packet_id, (0.0, 0))
+        down_key = self._arrival.get(down.packet_id, (0.0, 0))
+        if up_key <= down_key:
+            return self.uplink_queue, UPLINK
+        return self.downlink_queue, DOWNLINK
+
+    def _serve(self) -> None:
+        choice = self._pick_next()
+        if choice is None:
+            self._busy = False
+            return
+        queue, direction = choice
+        packet = queue.dequeue()
+        assert packet is not None
+        self._arrival.pop(packet.packet_id, None)
+        self._busy = True
+        frame_bytes = packet.size_bytes + MAC_OVERHEAD_BYTES
+        tx_time = frame_bytes / (self.rate * self.mac_efficiency)
+        self.airtime_busy += tx_time
+        self.sim.schedule(tx_time, self._tx_done, packet, direction)
+
+    def _tx_done(self, packet: Packet, direction: str) -> None:
+        lost = self._rng.random() < loss_probability(self.ber, packet.size_bytes)
+        if direction == UPLINK:
+            self.frames_up += 1
+            self.client_tx_series.record(self.sim.now, packet.size_bytes)
+        else:
+            self.frames_down += 1
+        if lost:
+            self.frames_lost += 1
+            self.loss_records.append(
+                DropRecord(self.sim.now, self.name, f"bit_error_{direction}", packet.size_bytes)
+            )
+        else:
+            if direction == UPLINK:
+                self.bytes_up += packet.size_bytes
+                self.sim.schedule(self.prop_delay, self.internet.forward, packet)
+            else:
+                self.bytes_down += packet.size_bytes
+                self.sim.schedule(self.prop_delay, self.host.interface.receive, packet)
+        self._serve()
+
+    # ------------------------------------------------------------------
+    # Instrumentation helpers
+    # ------------------------------------------------------------------
+    @property
+    def buffer_drops(self) -> List[DropRecord]:
+        """All drop-tail overflow events on this cell (AP + station)."""
+        return sorted(
+            self.downlink_queue.drops + self.uplink_queue.drops, key=lambda d: d.time
+        )
+
+
+def attach_wireless_host(
+    sim: Simulator,
+    host: Host,
+    internet: Internet,
+    ip: str,
+    rate: float = 100_000.0,
+    ber: float = 0.0,
+    **kwargs: object,
+) -> WirelessChannel:
+    """Create a cell for ``host``, route ``ip`` to it, and bring it up."""
+    channel = WirelessChannel(sim, host, internet, rate=rate, ber=ber, **kwargs)  # type: ignore[arg-type]
+    internet.register(ip, channel)
+    host.bring_up(ip)
+    return channel

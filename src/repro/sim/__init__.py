@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel: clock, events, timers, RNG, probes."""
+
+from .events import Event, EventQueue
+from .kernel import SimulationError, Simulator
+from .probes import Counter, RateMeter, TimeSeries, mean
+from .randomness import RngRegistry, derive_seed
+from .timers import PeriodicTask, Timer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationError",
+    "Simulator",
+    "Counter",
+    "RateMeter",
+    "TimeSeries",
+    "mean",
+    "RngRegistry",
+    "derive_seed",
+    "PeriodicTask",
+    "Timer",
+]

@@ -1,0 +1,113 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is callback-based: an :class:`Event` couples a firing time with a
+zero-argument callable (arguments are bound at scheduling time).  Events are
+totally ordered by ``(time, sequence)`` so that two events scheduled for the
+same instant fire in scheduling order, which keeps runs deterministic.
+
+Cancellation is lazy: cancelling marks the event dead and the queue discards
+it when it reaches the head.  This keeps :meth:`EventQueue.push` and
+cancellation O(log n) and O(1) respectively.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by the kernel; user code receives them as handles
+    that can be cancelled via :meth:`cancel` or :meth:`Simulator.cancel`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will not fire.
+
+        Safe to call multiple times and after the event has fired (a no-op
+        in that case).
+        """
+        self.cancelled = True
+        # Drop references so cancelled events pinned in the heap do not keep
+        # large object graphs (packets, connections) alive.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def alive(self) -> bool:
+        """True until the event fires or is cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class EventQueue:
+    """A cancellable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, or None."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

@@ -1,0 +1,124 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock, the event queue, and the named
+random streams for a run.  Components never read wall-clock time or the
+global ``random`` module; they hold a reference to their simulator and use
+``sim.now``, ``sim.schedule`` and ``sim.rng``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .events import Event, EventQueue
+from .randomness import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """A single simulation run: clock + event queue + random streams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random streams (see
+        :class:`~repro.sim.randomness.RngRegistry`).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self.rng = RngRegistry(seed)
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, current time is {self._now!r}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at the current instant.
+
+        It fires after all already-queued events for this instant; useful for
+        breaking re-entrancy (e.g. delivering application callbacks outside a
+        packet-processing call chain).
+        """
+        return self._queue.push(self._now, callback, args)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a scheduled event.  ``None`` and spent events are no-ops."""
+        if event is not None:
+            self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or stop().
+
+        Returns the simulated time at which the run stopped.  If ``until``
+        is given, the clock is advanced to exactly ``until`` even when the
+        queue drains early, so back-to-back ``run`` calls compose.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.callback(*event.args)
+                self.events_processed += 1
+                processed += 1
+                if self._stopped:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)

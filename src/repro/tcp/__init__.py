@@ -1,0 +1,60 @@
+"""TCP: bi-directional byte-stream transport with NewReno congestion control."""
+
+from .congestion import (
+    CONGESTION_AVOIDANCE,
+    FAST_RECOVERY,
+    SLOW_START,
+    NewRenoCongestionControl,
+)
+from .connection import (
+    CLOSE_WAIT,
+    CLOSED,
+    ESTABLISHED,
+    FIN_WAIT,
+    SYN_RCVD,
+    SYN_SENT,
+    ConnectionStats,
+    TCPConfig,
+    TCPConnection,
+)
+from .rtt import RTTEstimator
+from .segment import (
+    ACK,
+    DEFAULT_MSS,
+    FIN,
+    RST,
+    SYN,
+    TCP_HEADER_BYTES,
+    TCPSegment,
+    pure_ack,
+)
+from .stack import TCPStack
+from .streams import ReceiveStream, SendStream
+
+__all__ = [
+    "NewRenoCongestionControl",
+    "SLOW_START",
+    "CONGESTION_AVOIDANCE",
+    "FAST_RECOVERY",
+    "TCPConfig",
+    "TCPConnection",
+    "ConnectionStats",
+    "CLOSED",
+    "SYN_SENT",
+    "SYN_RCVD",
+    "ESTABLISHED",
+    "FIN_WAIT",
+    "CLOSE_WAIT",
+    "RTTEstimator",
+    "TCPSegment",
+    "pure_ack",
+    "TCP_HEADER_BYTES",
+    "DEFAULT_MSS",
+    "SYN",
+    "ACK",
+    "FIN",
+    "RST",
+    "TCPStack",
+    "SendStream",
+    "ReceiveStream",
+]

@@ -1,0 +1,153 @@
+"""The wP2P client: all three components integrated (paper §4.4).
+
+``WP2PClient`` is a drop-in replacement for
+:class:`~repro.bittorrent.client.BitTorrentClient` on a mobile host.  It is
+fully backward compatible on the wire — fixed peers see a normal BitTorrent
+peer — but locally it runs:
+
+* **AM** (Age-based Manipulation) as a Netfilter pair on the host,
+* **IA**: the LIHD upload controller (when ``lihd_u_max`` is set) and
+  identity retention across handoffs,
+* **MA**: mobility-aware fetching as the piece selector and role reversal
+  as the IP-change policy.
+
+Each component can be toggled independently, which is how the evaluation
+benchmarks isolate them exactly as the paper's §5.2 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bittorrent.client import BitTorrentClient, ClientConfig
+from ..bittorrent.metainfo import Torrent
+from ..bittorrent.selection import PieceSelector
+from ..net.host import Host
+from ..sim import Simulator
+from .age_manipulation import DEFAULT_GAMMA_BYTES, AgeBasedManipulation
+from .incentive_aware import IdentityRetention, LIHDController
+from .mobility_aware import MobilityAwareSelector, PrSchedule
+
+
+@dataclass
+class WP2PConfig(ClientConfig):
+    """wP2P knobs on top of the base client configuration."""
+
+    # Age-based Manipulation
+    am_enabled: bool = True
+    am_gamma_bytes: int = DEFAULT_GAMMA_BYTES
+    am_rtt_estimate: float = 0.2
+    am_dupack_modulus: int = 4
+    # Incentive-Aware operations
+    identity_retention: bool = True
+    lihd_u_max: Optional[float] = None  # bytes/s; None disables LIHD
+    lihd_alpha: float = 10_240.0
+    lihd_beta: float = 10_240.0
+    lihd_interval: float = 5.0
+    lihd_u_floor: float = 2_048.0
+    # Mobility-Aware operations
+    mobility_aware_fetching: bool = True
+    role_reversal: bool = True
+    role_reversal_delay: float = 0.5
+
+
+def wp2p_ip_change_policy(client: "WP2PClient", old, new) -> None:
+    """IP-change handling with identity retention and role reversal.
+
+    Unlike the deployed-client default (task re-init, fresh peer ID, wait
+    for the tracker), wP2P re-announces under the *same* peer ID — so the
+    tracker updates the existing swarm record in place and remote-peer
+    credit keyed to the ID survives — and immediately re-initiates
+    connections to the peers it remembers.
+    """
+    wcfg = client.wconfig
+    keep_id = wcfg.identity_retention
+    if wcfg.role_reversal:
+        client.schedule_task_restart(
+            new_peer_id=not keep_id,
+            delay=wcfg.role_reversal_delay,
+            forget_peers=False,
+        )
+    else:
+        client.schedule_task_restart(new_peer_id=not keep_id)
+
+
+class WP2PClient(BitTorrentClient):
+    """Mobile-host BitTorrent client with the wP2P solution suite."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        torrent: Torrent,
+        complete: bool = False,
+        selector: Optional[PieceSelector] = None,
+        config: Optional[WP2PConfig] = None,
+        name: Optional[str] = None,
+        pr_schedule: Optional[PrSchedule] = None,
+        initial_pieces=None,
+    ) -> None:
+        wconfig = config or WP2PConfig()
+        if selector is None and wconfig.mobility_aware_fetching:
+            selector = MobilityAwareSelector(pr_schedule)
+        super().__init__(
+            sim, host, torrent,
+            complete=complete, selector=selector, config=wconfig, name=name,
+            initial_pieces=initial_pieces,
+        )
+        self.wconfig = wconfig
+        self.identity = IdentityRetention()
+        self.identity.remember(torrent.info_hash, self.peer_id)
+
+        self.am: Optional[AgeBasedManipulation] = None
+        if wconfig.am_enabled:
+            self.am = AgeBasedManipulation(
+                sim, host,
+                gamma_bytes=wconfig.am_gamma_bytes,
+                rtt_estimate=wconfig.am_rtt_estimate,
+                dupack_modulus=wconfig.am_dupack_modulus,
+            )
+
+        self.lihd: Optional[LIHDController] = None
+        if wconfig.lihd_u_max is not None:
+            self.lihd = LIHDController(
+                self, wconfig.lihd_u_max,
+                alpha=wconfig.lihd_alpha,
+                beta=wconfig.lihd_beta,
+                interval=wconfig.lihd_interval,
+                u_floor=wconfig.lihd_u_floor,
+            )
+
+        self.ip_change_policy = wp2p_ip_change_policy
+        self.reconnections = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        if self.am is not None:
+            self.am.install()
+        if self.lihd is not None:
+            self.lihd.start()
+
+    def stop(self, announce: bool = True) -> None:
+        if self.am is not None:
+            self.am.uninstall()
+        if self.lihd is not None:
+            self.lihd.stop()
+        super().stop(announce=announce)
+
+    # ------------------------------------------------------------------
+    def restart_task(
+        self, new_peer_id: bool = True, forget_peers: Optional[bool] = None
+    ) -> None:
+        """Identity retention: restore the swarm's stored peer ID on
+        re-initiation instead of honouring ``new_peer_id``."""
+        if self.wconfig.identity_retention:
+            stored = self.identity.recall(self.torrent.info_hash)
+            if stored is not None:
+                new_peer_id = False
+                self.peer_id = stored
+        self.reconnections += 1
+        super().restart_task(new_peer_id=new_peer_id, forget_peers=forget_peers)
+        self.identity.remember(self.torrent.info_hash, self.peer_id)

@@ -1,0 +1,91 @@
+"""Mobility-Aware operations (MA) — wP2P §4.3.
+
+* **Mobility-aware Fetching (MF)**: fetch the next piece sequentially with
+  probability ``1 - pr`` and rarest-first with probability ``pr``, where
+  ``pr`` grows with download progress / connection stability
+  ("exponentially decreasing selfishness").  Early in a download — when a
+  disconnection would strand useless random pieces — the client behaves
+  like a streaming fetcher; once it has proven stable it converges to
+  standard rarest-first altruism.
+
+* **Role Reversal (RR)**: when the client detects it has moved (IP change /
+  loss of all live peers), it immediately re-initiates connections to its
+  remembered peers as a *client*, instead of waiting minutes for fixed
+  peers or the tracker to rediscover its new address.  Serving data is
+  unaffected — BitTorrent peers serve on connections regardless of who
+  initiated them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+from ..bittorrent.selection import (
+    PieceSelector,
+    RarestFirstSelector,
+    SelectionContext,
+    SequentialSelector,
+)
+
+PrSchedule = Callable[[SelectionContext], float]
+
+
+def linear_progress_schedule(ctx: SelectionContext) -> float:
+    """pr equals the downloaded fraction — the paper's evaluation setting
+    (§5.2.3: "we set the value of pr to be equal to the downloaded
+    percentage of file")."""
+    return min(1.0, max(0.0, ctx.progress))
+
+
+def exponential_progress_schedule(p0: float = 0.2) -> PrSchedule:
+    """Exponentially increasing altruism: pr(0) = p0, pr(1) = 1.
+
+    ``pr = p0 * exp(k * progress)`` with ``k = ln(1/p0)`` — the §4.3
+    description ("uses a small value (say, 20%) for pr, and exponentially
+    increases pr as it downloads increasing fractions of the total file").
+    """
+    if not 0 < p0 <= 1:
+        raise ValueError("p0 must be in (0, 1]")
+    k = math.log(1.0 / p0)
+
+    def schedule(ctx: SelectionContext) -> float:
+        return min(1.0, p0 * math.exp(k * min(1.0, max(0.0, ctx.progress))))
+
+    return schedule
+
+
+def stability_schedule(tau: float, connected_since: Callable[[], float]) -> PrSchedule:
+    """pr driven by time since the last disconnection (network stability):
+    ``pr = 1 - exp(-t_stable / tau)``."""
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+
+    def schedule(ctx: SelectionContext) -> float:
+        stable_for = max(0.0, ctx.now - connected_since())
+        return 1.0 - math.exp(-stable_for / tau)
+
+    return schedule
+
+
+class MobilityAwareSelector(PieceSelector):
+    """Probabilistic blend of sequential and rarest-first selection."""
+
+    name = "mobility-aware"
+
+    def __init__(self, pr_schedule: Optional[PrSchedule] = None) -> None:
+        self.pr_schedule = pr_schedule or linear_progress_schedule
+        self._rarest = RarestFirstSelector()
+        self._sequential = SequentialSelector()
+        self.rarest_choices = 0
+        self.sequential_choices = 0
+
+    def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
+        if not candidates:
+            return None
+        pr = self.pr_schedule(ctx)
+        if ctx.rng.random() < pr:
+            self.rarest_choices += 1
+            return self._rarest.choose(candidates, ctx)
+        self.sequential_choices += 1
+        return self._sequential.choose(candidates, ctx)

@@ -1,0 +1,77 @@
+"""Shared test helpers (topology builders, message stubs)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net import (
+    AddressAllocator,
+    Host,
+    Internet,
+    attach_wired_host,
+    attach_wireless_host,
+)
+from repro.sim import Simulator
+from repro.tcp import TCPConfig, TCPStack
+
+
+class Message:
+    """Minimal application message: a payload length and a tag."""
+
+    def __init__(self, wire_length: int, tag: object = None) -> None:
+        self.wire_length = wire_length
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"Message({self.wire_length}, tag={self.tag!r})"
+
+
+class TwoHostNet:
+    """A ready-made two-host topology for transport tests.
+
+    ``a`` is wired (symmetric 500 KB/s); ``b`` is either wired or behind a
+    wireless cell depending on ``wireless``/``ber``/``rate``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 1,
+        wireless: bool = False,
+        ber: float = 0.0,
+        rate: float = 100_000.0,
+        core_delay: float = 0.02,
+        tcp_config: Optional[TCPConfig] = None,
+        ap_queue_packets: int = 50,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.internet = Internet(self.sim, core_delay=core_delay)
+        self.alloc = AddressAllocator()
+        self.a = Host(self.sim, "a")
+        self.b = Host(self.sim, "b")
+        self.stack_a = TCPStack(self.sim, self.a, config=tcp_config)
+        self.stack_b = TCPStack(self.sim, self.b, config=tcp_config)
+        self.link_a = attach_wired_host(
+            self.sim, self.a, self.internet, self.alloc.allocate(),
+            down_rate=500_000, up_rate=500_000,
+        )
+        if wireless:
+            self.channel = attach_wireless_host(
+                self.sim, self.b, self.internet, self.alloc.allocate(),
+                rate=rate, ber=ber, ap_queue_packets=ap_queue_packets,
+            )
+            self.link_b = self.channel
+        else:
+            self.channel = None
+            self.link_b = attach_wired_host(
+                self.sim, self.b, self.internet, self.alloc.allocate(),
+                down_rate=500_000, up_rate=500_000,
+            )
+
+
+def collect_messages(sink: list):
+    """Build an on_message callback appending tags to ``sink``."""
+
+    def on_message(message) -> None:
+        sink.append(message.tag)
+
+    return on_message

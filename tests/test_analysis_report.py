@@ -1,0 +1,85 @@
+"""Tests for result rendering and analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    Series,
+    ascii_chart,
+    average_runs,
+    campaign_report,
+    compare_first_last,
+)
+
+
+def result_with(series):
+    return ExperimentResult(
+        figure="Fig T", title="Test", x_label="x", y_label="y", series=series
+    )
+
+
+class TestAsciiChart:
+    def test_renders_all_series_markers(self):
+        r = result_with([
+            Series("alpha", [0, 1, 2], [0.0, 5.0, 10.0]),
+            Series("beta", [0, 1, 2], [10.0, 5.0, 0.0]),
+        ])
+        chart = ascii_chart(r)
+        assert "Fig T" in chart
+        assert "* alpha" in chart
+        assert "o beta" in chart
+        body = "\n".join(chart.split("\n")[1:-3])  # grid rows only
+        assert "*" in body and "o" in body
+
+    def test_empty_result(self):
+        r = result_with([])
+        assert "(no data)" in ascii_chart(r)
+
+    def test_single_point_series(self):
+        r = result_with([Series("solo", [5.0], [7.0])])
+        chart = ascii_chart(r)
+        assert "solo" in chart
+
+    def test_constant_series_no_div_by_zero(self):
+        r = result_with([Series("flat", [0, 1, 2], [3.0, 3.0, 3.0])])
+        chart = ascii_chart(r)
+        assert "flat" in chart
+
+    def test_overlapping_points_marked_ambiguous(self):
+        r = result_with([
+            Series("a", [0, 1], [1.0, 2.0]),
+            Series("b", [0, 1], [1.0, 5.0]),
+        ])
+        chart = ascii_chart(r, width=10, height=5)
+        assert "?" in chart
+
+
+class TestCampaignReport:
+    def test_concatenates_tables(self):
+        r1 = result_with([Series("a", [1], [2.0])])
+        r2 = ExperimentResult("Fig U", "Other", "x", "y",
+                              series=[Series("b", [1], [3.0])])
+        report = campaign_report([r1, r2])
+        assert "Fig T" in report
+        assert "Fig U" in report
+
+    def test_with_charts(self):
+        r1 = result_with([Series("a", [1, 2], [2.0, 4.0])])
+        report = campaign_report([r1], charts=True)
+        assert report.count("Fig T") == 2  # table header + chart header
+
+
+class TestHelpers:
+    def test_compare_first_last(self):
+        assert compare_first_last(Series("s", [0, 1], [10.0, 15.0])) == pytest.approx(0.5)
+        assert compare_first_last(Series("s", [0, 1], [10.0, 5.0])) == pytest.approx(-0.5)
+        assert compare_first_last(Series("s", [], [])) == 0.0
+        assert compare_first_last(Series("s", [0], [0.0])) == 0.0
+
+    def test_average_runs(self):
+        assert average_runs([[1.0, 2.0], [3.0, 4.0]]) == [2.0, 3.0]
+        assert average_runs([]) == []
+        with pytest.raises(ValueError):
+            average_runs([[1.0], [1.0, 2.0]])

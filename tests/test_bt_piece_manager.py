@@ -1,0 +1,196 @@
+"""Unit tests for the piece manager and selection strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bittorrent import (
+    Bitfield,
+    PieceManager,
+    RandomSelector,
+    RarestFirstSelector,
+    SelectionContext,
+    SequentialSelector,
+    make_torrent,
+)
+
+
+def make_manager(pieces=4, piece_length=65_536, **kwargs):
+    torrent = make_torrent("f", total_size=pieces * piece_length, piece_length=piece_length)
+    return torrent, PieceManager(torrent, **kwargs)
+
+
+def ctx(availability=None, progress=0.0, seed=0):
+    return SelectionContext(
+        availability=availability or {},
+        progress=progress,
+        now=0.0,
+        rng=random.Random(seed),
+    )
+
+
+def full_bitfield(torrent):
+    return Bitfield.full(torrent.num_pieces)
+
+
+def complete_piece(torrent, manager, index):
+    done = None
+    for begin, length in torrent.block_offsets(index):
+        done = manager.receive_block(index, begin, length)
+    return done
+
+
+class TestPieceManager:
+    def test_initially_empty(self):
+        torrent, mgr = make_manager()
+        assert not mgr.complete
+        assert mgr.progress == 0.0
+        assert mgr.missing_pieces() == [0, 1, 2, 3]
+
+    def test_seed_constructor(self):
+        torrent, mgr = make_manager(complete=True)
+        assert mgr.complete
+        assert mgr.progress == 1.0
+
+    def test_next_request_walks_blocks(self):
+        torrent, mgr = make_manager()
+        peer_bf = full_bitfield(torrent)
+        selector = SequentialSelector()
+        seen = set()
+        for _ in range(torrent.blocks_in_piece(0)):
+            req = mgr.next_request(peer_bf, selector, ctx())
+            assert req is not None
+            index, begin, length = req
+            assert index == 0  # strict priority finishes piece 0 first
+            mgr.mark_requested(index, begin, 0.0)
+            seen.add(begin)
+        assert len(seen) == torrent.blocks_in_piece(0)
+        # piece 0 fully requested; next request starts piece 1
+        req = mgr.next_request(peer_bf, selector, ctx())
+        assert req[0] == 1
+
+    def test_requested_blocks_not_reissued(self):
+        torrent, mgr = make_manager()
+        peer_bf = full_bitfield(torrent)
+        selector = SequentialSelector()
+        first = mgr.next_request(peer_bf, selector, ctx())
+        mgr.mark_requested(first[0], first[1], 0.0)
+        second = mgr.next_request(peer_bf, selector, ctx())
+        assert (first[0], first[1]) != (second[0], second[1])
+
+    def test_release_makes_block_requestable(self):
+        torrent, mgr = make_manager()
+        peer_bf = full_bitfield(torrent)
+        selector = SequentialSelector()
+        index, begin, length = mgr.next_request(peer_bf, selector, ctx())
+        mgr.mark_requested(index, begin, 0.0)
+        mgr.release_request(index, begin)
+        again = mgr.next_request(peer_bf, selector, ctx())
+        assert again[:2] == (index, begin)
+
+    def test_expire_requests(self):
+        torrent, mgr = make_manager()
+        peer_bf = full_bitfield(torrent)
+        selector = SequentialSelector()
+        index, begin, _ = mgr.next_request(peer_bf, selector, ctx())
+        mgr.mark_requested(index, begin, now=0.0)
+        assert mgr.expire_requests(now=10.0, timeout=30.0) == []
+        assert mgr.expire_requests(now=31.0, timeout=30.0) == [(index, begin)]
+        assert mgr.outstanding_requests() == []
+
+    def test_piece_completion(self):
+        torrent, mgr = make_manager()
+        done = complete_piece(torrent, mgr, 2)
+        assert done == 2
+        assert mgr.have_piece(2)
+        assert mgr.bytes_completed == torrent.piece_size(2)
+        assert mgr.completion_order == [2]
+
+    def test_duplicate_block_counted(self):
+        torrent, mgr = make_manager()
+        begin, length = torrent.block_offsets(0)[0]
+        mgr.receive_block(0, begin, length)
+        mgr.receive_block(0, begin, length)
+        assert mgr.duplicate_blocks == 1
+
+    def test_block_for_complete_piece_is_duplicate(self):
+        torrent, mgr = make_manager()
+        complete_piece(torrent, mgr, 0)
+        begin, length = torrent.block_offsets(0)[0]
+        assert mgr.receive_block(0, begin, length) is None
+        assert mgr.duplicate_blocks == 1
+
+    def test_unsolicited_block_accepted(self):
+        torrent, mgr = make_manager()
+        begin, length = torrent.block_offsets(3)[0]
+        assert mgr.receive_block(3, begin, length) is None
+        assert 3 in mgr.partial_pieces
+
+    def test_corrupt_piece_is_refetched(self):
+        torrent, mgr = make_manager(
+            corrupt_probability=1.0, rng=random.Random(1)
+        )
+        done = complete_piece(torrent, mgr, 0)
+        assert done is None
+        assert mgr.hash_failures == 1
+        assert not mgr.have_piece(0)
+        # the piece can be requested again
+        req = mgr.next_request(full_bitfield(torrent), SequentialSelector(), ctx())
+        assert req[0] == 0
+
+    def test_complete_when_all_pieces_done(self):
+        torrent, mgr = make_manager(pieces=3)
+        for i in range(3):
+            complete_piece(torrent, mgr, i)
+        assert mgr.complete
+        assert mgr.progress == 1.0
+
+    def test_no_request_when_peer_has_nothing(self):
+        torrent, mgr = make_manager()
+        empty = Bitfield(torrent.num_pieces)
+        assert mgr.next_request(empty, SequentialSelector(), ctx()) is None
+
+    def test_partial_priority_respects_peer_bitfield(self):
+        torrent, mgr = make_manager()
+        # start piece 2 via a peer that only has piece 2
+        only2 = Bitfield(torrent.num_pieces, have=[2])
+        req = mgr.next_request(only2, SequentialSelector(), ctx())
+        assert req[0] == 2
+        mgr.mark_requested(*req[:2], now=0.0)
+        # a peer with only piece 1 cannot serve piece 2's blocks
+        only1 = Bitfield(torrent.num_pieces, have=[1])
+        req = mgr.next_request(only1, SequentialSelector(), ctx())
+        assert req[0] == 1
+
+
+class TestSelectors:
+    def test_sequential_picks_lowest(self):
+        assert SequentialSelector().choose([5, 2, 9], ctx()) == 2
+
+    def test_sequential_empty(self):
+        assert SequentialSelector().choose([], ctx()) is None
+
+    def test_rarest_first_picks_min_availability(self):
+        availability = {1: 5, 2: 1, 3: 3}
+        sel = RarestFirstSelector()
+        assert sel.choose([1, 2, 3], ctx(availability)) == 2
+
+    def test_rarest_first_ties_broken_randomly(self):
+        availability = {1: 1, 2: 1, 3: 5}
+        sel = RarestFirstSelector()
+        picks = {sel.choose([1, 2, 3], ctx(availability, seed=s)) for s in range(20)}
+        assert picks == {1, 2}
+
+    def test_rarest_treats_unknown_as_zero(self):
+        sel = RarestFirstSelector()
+        assert sel.choose([7, 8], ctx({7: 2})) == 8
+
+    def test_random_selector_uniformish(self):
+        sel = RandomSelector()
+        picks = {sel.choose([1, 2, 3], ctx(seed=s)) for s in range(30)}
+        assert picks == {1, 2, 3}
+
+    def test_random_empty(self):
+        assert RandomSelector().choose([], ctx()) is None

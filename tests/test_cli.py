@@ -1,0 +1,41 @@
+"""Tests for the experiment CLI (python -m repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import PIECEWISE, SIMPLE, main, run_one
+
+
+class TestCli:
+    def test_registry_covers_every_figure(self):
+        names = set(SIMPLE) | set(PIECEWISE)
+        assert names == {
+            "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
+            "fig4bc", "fig8a", "fig8b", "fig8c", "fig9ab", "fig9c",
+        }
+
+    def test_run_one_prints_table(self, capsys):
+        run_one("fig2bc", num_pieces=20)
+        out = capsys.readouterr().out
+        assert "Figure 2(b, c)" in out
+        assert "paper:" in out
+
+    def test_run_one_with_chart(self, capsys):
+        run_one("fig2bc", num_pieces=20, chart=True)
+        out = capsys.readouterr().out
+        assert out.count("Figure 2(b, c)") >= 2  # table + chart headers
+
+    def test_unknown_figure_exits(self):
+        with pytest.raises(SystemExit):
+            run_one("fig99", num_pieces=20)
+
+    def test_main_parses_args(self, capsys):
+        main(["fig2bc"])
+        out = capsys.readouterr().out
+        assert "Figure 2(b, c)" in out
+
+    def test_piecewise_figure_accepts_num_pieces(self, capsys):
+        main(["fig4bc", "--num-pieces", "10"])
+        out = capsys.readouterr().out
+        assert "Playable" in out

@@ -1,0 +1,54 @@
+"""The examples and scripts must at least always compile and import-check.
+
+(Full example runs take tens of simulated-seconds each and are exercised in
+development; these tests keep them from rotting silently.)
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import py_compile
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+SCRIPTS = sorted((REPO_ROOT / "scripts").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES + SCRIPTS, ids=lambda p: p.name)
+def test_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+    guards = [
+        node
+        for node in tree.body
+        if isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+    ]
+    assert guards, f"{path.name} lacks an if __name__ == '__main__' guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    """Examples must demonstrate the public API: imports come from repro.*"""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            assert root in ("repro", "__future__"), (
+                f"{path.name} imports from {node.module}"
+            )
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor; we ship five

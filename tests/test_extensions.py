@@ -1,0 +1,142 @@
+"""Tests for the extension features: endgame mode, bulk apps, seed-LIHD."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import BulkSender, BulkServer, ForegroundDownload
+from repro.bittorrent import Bitfield, ClientConfig, PieceManager, make_torrent
+from repro.bittorrent.swarm import SwarmScenario
+from repro.wp2p import seed_lihd
+
+from tests.helpers import TwoHostNet
+
+
+class TestEndgameManager:
+    def make(self, pieces=2):
+        torrent = make_torrent("f", total_size=pieces * 49_152, piece_length=49_152)
+        return torrent, PieceManager(torrent)
+
+    def test_all_remaining_requested_detection(self):
+        from repro.bittorrent import SequentialSelector, SelectionContext
+        import random
+
+        torrent, mgr = self.make()
+        ctx = SelectionContext({}, 0.0, 0.0, random.Random(0))
+        full = Bitfield.full(torrent.num_pieces)
+        assert not mgr.all_remaining_requested()
+        while True:
+            req = mgr.next_request(full, SequentialSelector(), ctx)
+            if req is None:
+                break
+            mgr.mark_requested(req[0], req[1], 0.0)
+        assert mgr.all_remaining_requested()
+
+    def test_endgame_candidates_respect_bitfield(self):
+        torrent, mgr = self.make(pieces=2)
+        from repro.bittorrent import SequentialSelector, SelectionContext
+        import random
+
+        ctx = SelectionContext({}, 0.0, 0.0, random.Random(0))
+        full = Bitfield.full(torrent.num_pieces)
+        req = mgr.next_request(full, SequentialSelector(), ctx)
+        mgr.mark_requested(req[0], req[1], 0.0)
+        only_other = Bitfield(torrent.num_pieces, have=[1])
+        assert mgr.endgame_candidates(only_other) == []
+        has_it = Bitfield(torrent.num_pieces, have=[req[0]])
+        assert (req[0], req[1], req[2]) in mgr.endgame_candidates(has_it)
+
+    def test_complete_manager_not_in_endgame(self):
+        torrent, mgr = self.make(pieces=1)
+        for begin, length in torrent.block_offsets(0):
+            mgr.receive_block(0, begin, length)
+        assert not mgr.all_remaining_requested()
+
+
+class TestEndgameClient:
+    def test_endgame_download_completes_with_duplicates_cancelled(self):
+        config = ClientConfig(endgame=True)
+        sc = SwarmScenario(seed=71, file_size=512 * 1024, piece_length=65_536)
+        # one very slow seed plus a fast one: without endgame the last
+        # blocks can be hostage to the slow connection
+        sc.add_wired_peer("slow", complete=True, up_rate=5_000)
+        sc.add_wired_peer("fast", complete=True, up_rate=200_000)
+        leech = sc.add_wired_peer("leech", config=config)
+        sc.start_all()
+        assert sc.run_until_complete(["leech"], timeout=600)
+        # duplicate arrivals are possible but bounded
+        assert leech.client.manager.duplicate_blocks <= 40
+
+    def test_endgame_off_by_default(self):
+        assert ClientConfig().endgame is False
+
+
+class TestBulkApps:
+    def test_bulk_server_and_download(self):
+        net = TwoHostNet()
+        server = BulkServer(net.sim, net.a, port=8080)
+        download = ForegroundDownload(net.sim, net.b, net.a.ip, 8080)
+        net.sim.run(until=10.0)
+        assert download.bytes_received > 0
+        assert download.rate() > 0
+        download.stop()
+        server.stop()
+
+    def test_bulk_sender_stops(self):
+        net = TwoHostNet()
+        received = []
+
+        def accept(conn):
+            conn.on_message = lambda m: received.append(m.wire_length)
+
+        net.stack_b.listen(9000, accept)
+        conn = net.stack_a.connect(net.b.ip, 9000)
+        sender = BulkSender(net.sim, conn).start()
+        net.sim.run(until=3.0)
+        sender.stop()
+        count = len(received)
+        queued = sender.bytes_queued
+        net.sim.run(until=10.0)
+        assert sender.bytes_queued == queued  # nothing more queued
+        assert len(received) >= count
+
+
+class TestSeedLIHD:
+    def build(self, with_lihd: bool, seed: int = 72):
+        """A mobile seed sharing its wireless channel with a foreground
+        download, plus hungry fixed leeches."""
+        sc = SwarmScenario(seed=seed, file_size=8 * 1024 * 1024, piece_length=65_536)
+        for i in range(3):
+            sc.add_wired_peer(f"f{i}", down_rate=500_000, up_rate=48_000)
+        mob = sc.add_wireless_peer("mobseed", complete=True, rate=120_000)
+        # foreground web server on its own wired host
+        from repro.net import Host, attach_wired_host
+        from repro.tcp import TCPStack
+
+        web = Host(sc.sim, "webserver")
+        TCPStack(sc.sim, web)
+        attach_wired_host(sc.sim, web, sc.internet, sc.alloc.allocate(),
+                          down_rate=1_000_000, up_rate=1_000_000)
+        server = BulkServer(sc.sim, web, port=8080)
+        download = ForegroundDownload(sc.sim, mob.host, web.ip, 8080)
+        controller = None
+        if with_lihd:
+            controller = seed_lihd(
+                mob.client, download.rate, u_max=100_000.0, interval=3.0
+            )
+            controller.start()
+        sc.start_all()
+        sc.run(until=90.0)
+        return download, mob, controller
+
+    def test_seed_lihd_protects_foreground_download(self):
+        unprotected, _, _ = self.build(with_lihd=False)
+        protected, mob, controller = self.build(with_lihd=True)
+        assert controller is not None and controller.history
+        # the controller must deliver a clearly better foreground download
+        assert protected.bytes_received > unprotected.bytes_received * 1.15
+
+    def test_seed_still_uploads_under_lihd(self):
+        _, mob, controller = self.build(with_lihd=True)
+        assert mob.client.uploaded.total > 0
+        assert controller.u_cur >= controller.u_floor

@@ -1,0 +1,159 @@
+"""Failure-injection tests: the stack must survive hostile conditions.
+
+Corrupted pieces, tracker outages, peers vanishing mid-transfer, hosts that
+never come back, zero-capacity links — none of these may wedge a client or
+corrupt its state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bittorrent import ClientConfig
+from repro.bittorrent.swarm import SwarmScenario
+from repro.net.mobility import disconnect_host, reconnect_host
+from repro.tcp import TCPConfig
+
+from tests.helpers import Message, TwoHostNet
+
+
+class TestPieceCorruption:
+    def test_download_completes_despite_hash_failures(self):
+        config = ClientConfig(corrupt_probability=0.2)
+        sc = SwarmScenario(seed=31, file_size=512 * 1024, piece_length=65_536)
+        sc.add_wired_peer("seed", complete=True)
+        leech = sc.add_wired_peer("leech", config=config)
+        sc.start_all()
+        assert sc.run_until_complete(["leech"], timeout=600)
+        assert leech.client.manager.hash_failures > 0
+        # corrupted pieces were re-downloaded: more bytes than the file
+        assert leech.client.downloaded.total > sc.torrent.total_size
+
+
+class TestTrackerOutage:
+    def test_client_retries_when_tracker_down(self):
+        sc = SwarmScenario(seed=32, file_size=256 * 1024, piece_length=65_536)
+        sc.add_wired_peer("seed", complete=True)
+        leech = sc.add_wired_peer("leech")
+        # tracker goes dark before anyone starts
+        disconnect_host(sc.tracker_host, sc.internet, sc.alloc)
+        sc.start_all()
+        sc.run(until=30.0)
+        assert not leech.client.complete
+        assert leech.client.known_addresses == {}
+        # tracker comes back at its old address
+        reconnect_host(sc.tracker_host, sc.internet, sc.alloc,
+                       ip=sc.torrent.tracker_ip)
+        assert sc.run_until_complete(["leech"], timeout=600)
+
+    def test_client_survives_tracker_never_returning(self):
+        sc = SwarmScenario(seed=33, file_size=256 * 1024, piece_length=65_536)
+        leech = sc.add_wired_peer("leech")
+        disconnect_host(sc.tracker_host, sc.internet, sc.alloc)
+        sc.start_all()
+        sc.run(until=120.0)  # must not raise or wedge
+        assert not leech.client.complete
+        assert leech.client.started
+
+
+class TestPeerChurn:
+    def test_seed_vanishes_mid_download_other_seed_finishes(self):
+        sc = SwarmScenario(seed=34, file_size=1024 * 1024, piece_length=65_536)
+        s1 = sc.add_wired_peer("s1", complete=True, up_rate=60_000)
+        sc.add_wired_peer("s2", complete=True, up_rate=60_000)
+        leech = sc.add_wired_peer("leech")
+        sc.start_all()
+        sc.run(until=8.0)
+        assert 0 < leech.client.progress < 1
+        s1.client.stop()
+        disconnect_host(s1.host, sc.internet, sc.alloc)
+        assert sc.run_until_complete(["leech"], timeout=600)
+
+    def test_all_peers_vanish_then_client_keeps_waiting(self):
+        config = ClientConfig()
+        tcp_config = TCPConfig(max_consecutive_timeouts=4, max_rto=2.0)
+        sc = SwarmScenario(seed=35, file_size=1024 * 1024, piece_length=65_536,
+                           tcp_config=tcp_config)
+        seed = sc.add_wired_peer("seed", complete=True)
+        leech = sc.add_wired_peer("leech", config=config)
+        sc.start_all()
+        sc.run(until=5.0)
+        disconnect_host(seed.host, sc.internet, sc.alloc)
+        sc.run(until=120.0)
+        # stranded connection died; client still alive and announcing
+        assert leech.client.started
+        assert not leech.client.complete
+        assert all(p.remote_ip != seed.host.ip for p in leech.client.connected_peers())
+
+    def test_leech_abort_releases_outstanding_requests(self):
+        sc = SwarmScenario(seed=36, file_size=512 * 1024, piece_length=65_536)
+        sc.add_wired_peer("seed", complete=True, up_rate=30_000)
+        l1 = sc.add_wired_peer("l1")
+        sc.start_all()
+        sc.run(until=5.0)
+        mgr = l1.client.manager
+        assert mgr.outstanding_requests()
+        l1.client.stop(announce=False)
+        sc.run(until=8.0)
+        # a stopped client's manager has no stuck requested blocks visible
+        # to a restarted task: expiry would release them
+        released = mgr.expire_requests(now=1e9, timeout=30.0)
+        assert isinstance(released, list)
+
+
+class TestMobileBlackouts:
+    def test_long_disconnection_then_resume(self):
+        sc = SwarmScenario(seed=37, file_size=1024 * 1024, piece_length=65_536)
+        sc.add_wired_peer("seed", complete=True)
+        mob = sc.add_wireless_peer("mob", rate=150_000)
+        sc.start_all()
+        sc.run(until=6.0)
+        progress_before = mob.client.progress
+        disconnect_host(mob.host, sc.internet, sc.alloc)
+        sc.run(until=60.0)
+        assert mob.client.progress == pytest.approx(progress_before, abs=0.05)
+        reconnect_host(mob.host, sc.internet, sc.alloc)
+        assert sc.run_until_complete(["mob"], timeout=600)
+
+    def test_rapid_flapping_interface(self):
+        """Handoffs every few seconds: pathological but must not crash."""
+        sc = SwarmScenario(seed=38, file_size=512 * 1024, piece_length=65_536)
+        sc.add_wired_peer("seed", complete=True)
+        mob = sc.add_wireless_peer("mob", rate=200_000)
+        sc.add_mobility(mob, interval=5.0, downtime=0.5)
+        sc.start_all()
+        sc.run(until=90.0)
+        assert mob.client.task_restarts >= 10
+        assert mob.client.downloaded.total > 0
+
+
+class TestTransportAbuse:
+    def test_send_to_unroutable_address_times_out_cleanly(self):
+        net = TwoHostNet(tcp_config=TCPConfig(max_syn_retries=2, max_rto=2.0))
+        conn = net.stack_a.connect("10.99.99.99", 6881)
+        closed = []
+        conn.on_close = lambda r: closed.append(r)
+        net.sim.run(until=60.0)
+        assert closed == ["timeout"]
+
+    def test_listener_rejects_when_host_down(self):
+        net = TwoHostNet()
+        net.stack_b.listen(6881, lambda c: None)
+        net.b.take_down()
+        conn = net.stack_a.connect("10.0.0.2", 6881)
+        net.sim.run(until=2.0)
+        assert not conn.established
+
+    def test_message_flood_does_not_reorder(self):
+        net = TwoHostNet(seed=9, wireless=True, ber=8e-6)
+        received = []
+
+        def accept(conn):
+            conn.on_message = lambda m: received.append(m.tag)
+
+        net.stack_b.listen(6881, accept)
+        client = net.stack_a.connect(net.b.ip, 6881)
+        for i in range(500):
+            client.send_message(Message(400, i))
+        net.sim.run(until=120.0)
+        assert received == list(range(500))

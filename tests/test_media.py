@@ -1,0 +1,89 @@
+"""Unit tests for the playability model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bittorrent import Bitfield, make_torrent
+from repro.media import (
+    average_curves,
+    downloaded_fraction,
+    playability_curve,
+    playable_bytes,
+    playable_fraction,
+    playable_percentage_at,
+    playable_prefix_pieces,
+)
+
+
+def torrent(pieces=10, piece_length=65_536):
+    return make_torrent("media", total_size=pieces * piece_length, piece_length=piece_length)
+
+
+class TestPlayablePrefix:
+    def test_empty(self):
+        assert playable_prefix_pieces(Bitfield(10)) == 0
+
+    def test_full(self):
+        assert playable_prefix_pieces(Bitfield.full(10)) == 10
+
+    def test_prefix_stops_at_gap(self):
+        bf = Bitfield(10, have=[0, 1, 2, 4, 5])
+        assert playable_prefix_pieces(bf) == 3
+
+    def test_no_prefix_without_first_piece(self):
+        bf = Bitfield(10, have=[1, 2, 3])
+        assert playable_prefix_pieces(bf) == 0
+
+
+class TestFractions:
+    def test_playable_fraction(self):
+        t = torrent(10)
+        bf = Bitfield(10, have=[0, 1, 5])
+        assert playable_fraction(t, bf) == pytest.approx(0.2)
+        assert downloaded_fraction(t, bf) == pytest.approx(0.3)
+
+    def test_full_file_playable(self):
+        t = torrent(10)
+        assert playable_fraction(t, Bitfield.full(10)) == 1.0
+        assert playable_bytes(t, Bitfield.full(10)) == t.total_size
+
+    def test_short_final_piece(self):
+        t = make_torrent("m", total_size=65_536 + 100, piece_length=65_536)
+        bf = Bitfield.full(t.num_pieces)
+        assert playable_bytes(t, bf) == t.total_size
+
+
+class TestCurve:
+    def test_sequential_order_tracks_downloaded(self):
+        t = torrent(4)
+        curve = playability_curve(t, [0, 1, 2, 3])
+        assert curve[0] == (0.0, 0.0)
+        for down, play in curve:
+            assert play == pytest.approx(down)
+
+    def test_rarest_like_order_is_unplayable_until_end(self):
+        t = torrent(4)
+        curve = playability_curve(t, [3, 2, 1, 0])
+        # playable stays 0 until the final piece arrives
+        assert curve[-2][1] == 0.0
+        assert curve[-1][1] == 100.0
+
+    def test_interpolation(self):
+        t = torrent(4)
+        curve = playability_curve(t, [0, 1, 2, 3])
+        assert playable_percentage_at(curve, 50.0) == pytest.approx(50.0)
+        assert playable_percentage_at(curve, 10.0) == pytest.approx(0.0)
+        assert playable_percentage_at([], 50.0) == 0.0
+
+    def test_average_curves(self):
+        t = torrent(2)
+        good = playability_curve(t, [0, 1])
+        bad = playability_curve(t, [1, 0])
+        grid = [0.0, 50.0, 100.0]
+        avg = average_curves([good, bad], grid)
+        assert avg[1] == (50.0, pytest.approx(25.0))
+        assert avg[2] == (100.0, pytest.approx(100.0))
+
+    def test_average_no_curves(self):
+        assert average_curves([], [0.0, 100.0]) == [(0.0, 0.0), (100.0, 0.0)]

@@ -1,0 +1,177 @@
+"""Property-based tests for BitTorrent data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent import (
+    Bitfield,
+    PieceManager,
+    RarestFirstSelector,
+    SelectionContext,
+    SequentialSelector,
+    make_torrent,
+)
+from repro.media import playability_curve, playable_prefix_pieces
+from repro.net.packet import loss_probability
+
+
+class TestBitfieldProperties:
+    @given(st.integers(min_value=1, max_value=500), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_count_matches_indices(self, size, data):
+        have = data.draw(st.sets(st.integers(min_value=0, max_value=size - 1)))
+        bf = Bitfield(size, have=have)
+        assert bf.count() == len(have)
+        assert set(bf.indices()) == have
+        assert set(bf.missing()) == set(range(size)) - have
+
+    @given(st.integers(min_value=1, max_value=300), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_set_clear_roundtrip(self, size, data):
+        index = data.draw(st.integers(min_value=0, max_value=size - 1))
+        bf = Bitfield(size)
+        bf.set(index)
+        assert bf.has(index)
+        bf.clear(index)
+        assert not bf.has(index)
+        assert bf.empty
+
+    @given(st.integers(min_value=1, max_value=300), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_interest_iff_set_difference(self, size, data):
+        a_have = data.draw(st.sets(st.integers(min_value=0, max_value=size - 1)))
+        b_have = data.draw(st.sets(st.integers(min_value=0, max_value=size - 1)))
+        a = Bitfield(size, have=a_have)
+        b = Bitfield(size, have=b_have)
+        assert a.has_piece_other_is_missing(b) == bool(a_have - b_have)
+
+
+class TestTorrentGeometry:
+    @given(
+        st.integers(min_value=1, max_value=50_000_000),
+        st.sampled_from([16_384, 32_768, 65_536, 131_072, 262_144]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pieces_and_blocks_cover_file_exactly(self, total_size, piece_length):
+        t = make_torrent("f", total_size=total_size, piece_length=piece_length)
+        piece_sum = sum(t.piece_size(i) for i in range(t.num_pieces))
+        assert piece_sum == total_size
+        for i in range(min(t.num_pieces, 5)):
+            offsets = t.block_offsets(i)
+            assert sum(length for _, length in offsets) == t.piece_size(i)
+            assert all(length > 0 for _, length in offsets)
+
+
+class TestPieceManagerProperties:
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_any_block_arrival_order_completes(self, pieces, seed):
+        """Whatever order blocks arrive in, the manager ends complete with
+        exact byte accounting."""
+        torrent = make_torrent("f", total_size=pieces * 49_152, piece_length=49_152)
+        manager = PieceManager(torrent)
+        rng = random.Random(seed)
+        blocks = [
+            (i, begin, length)
+            for i in range(torrent.num_pieces)
+            for begin, length in torrent.block_offsets(i)
+        ]
+        rng.shuffle(blocks)
+        completed = []
+        for index, begin, length in blocks:
+            done = manager.receive_block(index, begin, length)
+            if done is not None:
+                completed.append(done)
+        assert manager.complete
+        assert manager.bytes_completed == torrent.total_size
+        assert sorted(completed) == list(range(torrent.num_pieces))
+        assert manager.completion_order == completed
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_next_request_never_duplicates_outstanding(self, pieces, seed):
+        torrent = make_torrent("f", total_size=pieces * 49_152, piece_length=49_152)
+        manager = PieceManager(torrent)
+        peer_bf = Bitfield.full(torrent.num_pieces)
+        ctx = SelectionContext({}, 0.0, 0.0, random.Random(seed))
+        selector = RarestFirstSelector()
+        issued = set()
+        while True:
+            req = manager.next_request(peer_bf, selector, ctx)
+            if req is None:
+                break
+            key = (req[0], req[1])
+            assert key not in issued
+            issued.add(key)
+            manager.mark_requested(req[0], req[1], 0.0)
+        total_blocks = sum(torrent.blocks_in_piece(i) for i in range(torrent.num_pieces))
+        assert len(issued) == total_blocks
+
+
+class TestSelectorProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=50, unique=True),
+        st.dictionaries(st.integers(min_value=0, max_value=999), st.integers(min_value=0, max_value=20)),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_selectors_choose_from_candidates(self, candidates, availability, seed):
+        ctx = SelectionContext(availability, 0.5, 0.0, random.Random(seed))
+        for selector in (RarestFirstSelector(), SequentialSelector()):
+            choice = selector.choose(candidates, ctx)
+            assert choice in candidates
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=50, unique=True),
+        st.dictionaries(st.integers(min_value=0, max_value=999), st.integers(min_value=0, max_value=20)),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_rarest_first_is_minimal(self, candidates, availability, seed):
+        ctx = SelectionContext(availability, 0.5, 0.0, random.Random(seed))
+        choice = RarestFirstSelector().choose(candidates, ctx)
+        min_avail = min(availability.get(c, 0) for c in candidates)
+        assert availability.get(choice, 0) == min_avail
+
+
+class TestPlayabilityProperties:
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=100, deadline=None)
+    def test_curve_monotone_and_bounded(self, pieces, seed):
+        torrent = make_torrent("f", total_size=pieces * 16_384, piece_length=16_384)
+        order = list(range(pieces))
+        random.Random(seed).shuffle(order)
+        curve = playability_curve(torrent, order)
+        downs = [d for d, _ in curve]
+        plays = [p for _, p in curve]
+        assert downs == sorted(downs)
+        assert plays == sorted(plays)  # playable prefix never shrinks
+        assert all(p <= d + 1e-9 for d, p in curve)  # playable <= downloaded
+        assert curve[-1] == (100.0, 100.0)
+
+    @given(st.integers(min_value=1, max_value=300), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_definition(self, size, data):
+        have = data.draw(st.sets(st.integers(min_value=0, max_value=size - 1)))
+        bf = Bitfield(size, have=have)
+        prefix = playable_prefix_pieces(bf)
+        assert all(i in have for i in range(prefix))
+        assert prefix == size or prefix not in have
+
+
+class TestLossModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+        st.integers(min_value=1, max_value=65_535),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_probability_bounds_and_monotonicity(self, ber, size):
+        p = loss_probability(ber, size)
+        assert 0.0 <= p <= 1.0
+        assert loss_probability(ber, size + 100) >= p
+        if ber > 0:
+            assert loss_probability(ber * 2, size) >= p

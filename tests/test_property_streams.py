@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for TCP stream reassembly.
+
+The receive stream must deliver exactly the in-order byte stream and each
+application message exactly once, regardless of how segments are reordered,
+duplicated, or fragmented — the core invariant everything above TCP relies
+on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.streams import ReceiveStream, SendStream
+
+
+class Msg:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+@st.composite
+def message_lengths(draw):
+    return draw(st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=20))
+
+
+@st.composite
+def segmented_stream(draw):
+    """A message stream cut into segments, then shuffled with duplicates."""
+    lengths = draw(message_lengths())
+    send = SendStream(0)
+    messages = []
+    for i, length in enumerate(lengths):
+        msg = Msg(i)
+        send.write_message(msg, length)
+        messages.append(msg)
+    total = send.end
+    # segmentation: random cut points
+    n_cuts = draw(st.integers(min_value=0, max_value=min(total - 1, 30)))
+    cuts = sorted(draw(st.sets(st.integers(min_value=1, max_value=total - 1), min_size=n_cuts, max_size=n_cuts))) if total > 1 else []
+    bounds = [0] + list(cuts) + [total]
+    segments = []
+    for start, end in zip(bounds, bounds[1:]):
+        segments.append((start, end - start, send.messages_in(start, end)))
+    # delivery schedule: shuffled with duplicates
+    order = draw(st.permutations(range(len(segments))))
+    dup_count = draw(st.integers(min_value=0, max_value=len(segments)))
+    dups = draw(st.lists(st.integers(min_value=0, max_value=len(segments) - 1),
+                         min_size=dup_count, max_size=dup_count))
+    schedule = list(order) + dups
+    return segments, schedule, lengths
+
+
+class TestReceiveStreamProperties:
+    @given(segmented_stream())
+    @settings(max_examples=200, deadline=None)
+    def test_all_messages_delivered_once_in_order(self, data):
+        segments, schedule, lengths = data
+        recv = ReceiveStream(0)
+        delivered = []
+        for idx in schedule:
+            seq, length, msgs = segments[idx]
+            recv.add(seq, length, msgs)
+            delivered.extend(m.tag for m in recv.pop_deliverable())
+        assert recv.rcv_nxt == sum(lengths)
+        assert delivered == list(range(len(lengths)))
+        assert not recv.has_gap
+
+    @given(segmented_stream())
+    @settings(max_examples=100, deadline=None)
+    def test_bytes_delivered_equals_stream_length(self, data):
+        segments, schedule, lengths = data
+        recv = ReceiveStream(0)
+        for idx in schedule:
+            seq, length, msgs = segments[idx]
+            recv.add(seq, length, msgs)
+            recv.pop_deliverable()
+        assert recv.bytes_delivered == sum(lengths)
+
+    @given(segmented_stream())
+    @settings(max_examples=100, deadline=None)
+    def test_rcv_nxt_monotone(self, data):
+        segments, schedule, _ = data
+        recv = ReceiveStream(0)
+        last = recv.rcv_nxt
+        for idx in schedule:
+            seq, length, msgs = segments[idx]
+            recv.add(seq, length, msgs)
+            recv.pop_deliverable()
+            assert recv.rcv_nxt >= last
+            last = recv.rcv_nxt
+
+    @given(segmented_stream(), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_partial_delivery_never_over_delivers(self, data, prefix_count):
+        """Delivering only a prefix of segments must deliver only messages
+        entirely covered by contiguous data."""
+        segments, schedule, lengths = data
+        recv = ReceiveStream(0)
+        delivered = []
+        for idx in schedule[:prefix_count]:
+            seq, length, msgs = segments[idx]
+            recv.add(seq, length, msgs)
+            delivered.extend(m.tag for m in recv.pop_deliverable())
+        # delivered tags must be a prefix of 0..n in order
+        assert delivered == list(range(len(delivered)))
+        # and consistent with the contiguous byte point
+        ends = []
+        acc = 0
+        for length in lengths:
+            acc += length
+            ends.append(acc)
+        expected = sum(1 for e in ends if e <= recv.rcv_nxt)
+        assert len(delivered) == expected
+
+
+class TestSendStreamProperties:
+    @given(message_lengths())
+    @settings(max_examples=100, deadline=None)
+    def test_ranges_partition_stream(self, lengths):
+        send = SendStream(0)
+        ranges = [send.write_message(Msg(i), n) for i, n in enumerate(lengths)]
+        expected_start = 0
+        for (start, end), length in zip(ranges, lengths):
+            assert start == expected_start
+            assert end - start == length
+            expected_start = end
+        assert send.end == sum(lengths)
+
+    @given(message_lengths(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_cumulative_acks_conserve_bytes(self, lengths, data):
+        send = SendStream(0)
+        for i, n in enumerate(lengths):
+            send.write_message(Msg(i), n)
+        send.nxt = send.end
+        total = send.end
+        acked = 0
+        while send.una < total:
+            ack = data.draw(st.integers(min_value=send.una + 1, max_value=total))
+            acked += send.ack_to(ack)
+            assert send.una == ack
+        assert acked == total
+        # all message bookkeeping pruned
+        assert send.messages_in(0, total) == ()

@@ -1,0 +1,152 @@
+"""Unit tests for TCP stream bookkeeping (send/receive byte streams)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tcp.streams import ReceiveStream, SendStream
+
+
+class Msg:
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __repr__(self):
+        return f"Msg({self.tag})"
+
+
+class TestSendStream:
+    def test_write_assigns_contiguous_ranges(self):
+        s = SendStream(1)
+        assert s.write_message(Msg("a"), 100) == (1, 101)
+        assert s.write_message(Msg("b"), 50) == (101, 151)
+        assert s.end == 151
+        assert s.unsent_bytes == 150
+
+    def test_zero_length_rejected(self):
+        s = SendStream(1)
+        with pytest.raises(ValueError):
+            s.write_message(Msg("a"), 0)
+
+    def test_messages_in_range(self):
+        s = SendStream(0)
+        s.write_message(Msg("a"), 100)  # ends at 100
+        s.write_message(Msg("b"), 100)  # ends at 200
+        ends = [e for e, _ in s.messages_in(0, 100)]
+        assert ends == [100]
+        ends = [e for e, _ in s.messages_in(100, 200)]
+        assert ends == [200]
+        ends = [e for e, _ in s.messages_in(0, 200)]
+        assert ends == [100, 200]
+        assert s.messages_in(0, 99) == ()
+
+    def test_message_boundary_exclusive_start(self):
+        s = SendStream(0)
+        s.write_message(Msg("a"), 100)
+        # message ending at 100 belongs to a segment [50, 100), not [100, 150)
+        assert [e for e, _ in s.messages_in(50, 100)] == [100]
+        assert s.messages_in(100, 150) == ()
+
+    def test_ack_advances_and_prunes(self):
+        s = SendStream(1)
+        s.write_message(Msg("a"), 100)
+        s.nxt = 101
+        assert s.ack_to(51) == 50
+        assert s.una == 51
+        assert s.ack_to(51) == 0  # duplicate
+        assert s.ack_to(101) == 50
+        assert s.messages_in(1, 101) == ()  # pruned once acked
+
+    def test_ack_beyond_end_rejected(self):
+        s = SendStream(1)
+        s.write_message(Msg("a"), 10)
+        with pytest.raises(ValueError):
+            s.ack_to(100)
+
+    def test_ack_above_rewound_nxt_snaps_pointers(self):
+        # go-back-N rewinds nxt; a later cumulative ACK may still cover
+        # bytes the receiver already held
+        s = SendStream(0)
+        s.write_message(Msg("a"), 1000)
+        s.nxt = 1000
+        s.nxt = 200  # rewind after RTO
+        assert s.ack_to(800) == 800
+        assert s.una == 800
+        assert s.nxt == 800
+
+    def test_flight_and_buffered(self):
+        s = SendStream(0)
+        s.write_message(Msg("a"), 300)
+        s.nxt = 200
+        assert s.flight_size == 200
+        assert s.unsent_bytes == 100
+        assert s.buffered_bytes == 300
+
+
+class TestReceiveStream:
+    def test_in_order_advances(self):
+        r = ReceiveStream(0)
+        assert r.add(0, 100)
+        assert r.rcv_nxt == 100
+        assert r.bytes_delivered == 100
+
+    def test_out_of_order_held_then_merged(self):
+        r = ReceiveStream(0)
+        assert not r.add(100, 100)
+        assert r.rcv_nxt == 0
+        assert r.has_gap
+        assert r.out_of_order_bytes == 100
+        assert r.add(0, 100)
+        assert r.rcv_nxt == 200
+        assert not r.has_gap
+
+    def test_duplicate_counted(self):
+        r = ReceiveStream(0)
+        r.add(0, 100)
+        assert not r.add(0, 100)
+        assert r.duplicate_bytes == 100
+
+    def test_partial_overlap(self):
+        r = ReceiveStream(0)
+        r.add(50, 100)   # [50,150) held
+        r.add(0, 100)    # [0,100): 50 new, 50 dup -> contiguous to 150
+        assert r.rcv_nxt == 150
+        assert r.duplicate_bytes == 50
+
+    def test_overlapping_ooo_ranges_merge(self):
+        r = ReceiveStream(0)
+        r.add(100, 50)
+        r.add(120, 80)
+        assert r.out_of_order_bytes == 100  # [100, 200)
+        r.add(0, 100)
+        assert r.rcv_nxt == 200
+
+    def test_message_delivery_in_order(self):
+        r = ReceiveStream(0)
+        m1, m2 = Msg(1), Msg(2)
+        # second message's bytes arrive first
+        r.add(100, 100, messages=((200, m2),))
+        assert r.pop_deliverable() == []
+        r.add(0, 100, messages=((100, m1),))
+        assert [m.tag for m in r.pop_deliverable()] == [1, 2]
+
+    def test_message_redelivery_is_idempotent(self):
+        r = ReceiveStream(0)
+        m = Msg(1)
+        r.add(0, 100, messages=((100, m),))
+        assert len(r.pop_deliverable()) == 1
+        r.add(0, 100, messages=((100, m),))  # retransmission
+        assert r.pop_deliverable() == []
+
+    def test_old_message_attachment_ignored(self):
+        r = ReceiveStream(0)
+        r.add(0, 100)
+        # retransmitted segment attaches a message already below rcv_nxt:
+        # receiver must not deliver it again (it never had the object, but
+        # attachments at or below rcv_nxt are dropped as already-delivered).
+        r.add(0, 100, messages=((100, Msg(1)),))
+        assert r.pop_deliverable() == []
+
+    def test_non_advancing_data_returns_false(self):
+        r = ReceiveStream(0)
+        assert r.add(0, 0) is False
