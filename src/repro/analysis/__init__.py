@@ -1,6 +1,12 @@
 """Result containers and reporting for experiments."""
 
 from .report import ascii_chart, campaign_report, compare_first_last
+from .runreport import (
+    event_counts,
+    group_by_layer,
+    render_report,
+    report_from_jsonl,
+)
 from .stats import Summary, clearly_greater, relative_gain, summarize, t_critical_95
 from .series import ExperimentResult, Series, average_runs
 
@@ -11,6 +17,10 @@ __all__ = [
     "ascii_chart",
     "campaign_report",
     "compare_first_last",
+    "event_counts",
+    "group_by_layer",
+    "render_report",
+    "report_from_jsonl",
     "Summary",
     "clearly_greater",
     "relative_gain",

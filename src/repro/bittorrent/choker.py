@@ -80,6 +80,20 @@ class TitForTatChoker:
         if self._optimistic is not None and not self._optimistic.closed:
             unchoke.add(self._optimistic)
 
+        trace = self.client.sim.trace
+        if trace.enabled:
+            trace.event(
+                "bittorrent", "choke_round",
+                client=self.client.name, round=self._round,
+                interested=len(interested),
+                unchoked=sorted(p.peer_id or "?" for p in unchoke),
+                optimistic=(
+                    self._optimistic.peer_id
+                    if self._optimistic is not None
+                    else None
+                ),
+            )
+
         for peer in peers:
             peer.set_choking(peer not in unchoke)
 

@@ -118,6 +118,8 @@ class BitTorrentClient:
             initial_pieces=initial_pieces,
             corrupt_probability=self.config.corrupt_probability,
             rng=sim.rng.stream(f"client.{self.name}.verify"),
+            trace=sim.trace,
+            owner=self.name,
         )
         stack = host.transport
         self.stack: TCPStack = stack if isinstance(stack, TCPStack) else TCPStack(sim, host)
@@ -215,6 +217,11 @@ class BitTorrentClient:
             return
         self._restart_event = None
         self.task_restarts += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.event(
+                "bittorrent", "task_restart", client=self.name,
+                new_peer_id=new_peer_id, restarts=self.task_restarts,
+            )
         self._close_all_connections("task_restart")
         if forget_peers is None:
             forget_peers = new_peer_id
@@ -250,6 +257,11 @@ class BitTorrentClient:
             return
         self.announce_count += 1
         left = self.torrent.total_size - self.manager.bytes_completed
+        if self.sim.trace.enabled:
+            self.sim.trace.event(
+                "bittorrent", "announce", client=self.name,
+                announce_event=event, left=left,
+            )
         request = AnnounceRequest(
             info_hash=self.torrent.info_hash,
             peer_id=self.peer_id,
@@ -469,6 +481,11 @@ class BitTorrentClient:
 
     def _on_complete(self) -> None:
         self.completion_time = self.sim.now
+        if self.sim.trace.enabled:
+            self.sim.trace.event(
+                "bittorrent", "download_complete", client=self.name,
+                downloaded=self.downloaded.total,
+            )
         self.announce(EVENT_COMPLETED)
         if not self.config.keep_seeding:
             self.sim.call_soon(self.stop)

@@ -60,8 +60,15 @@ class PieceManager:
         initial_pieces: Optional[Iterable[int]] = None,
         corrupt_probability: float = 0.0,
         rng: Optional[random.Random] = None,
+        trace=None,
+        owner: str = "",
     ) -> None:
         self.torrent = torrent
+        # Optional structured tracing (repro.obs.tracing.TraceBus); the
+        # owning client wires its simulator's bus in so piece completions
+        # and hash failures land in the cross-layer event log.
+        self._trace = trace
+        self._owner = owner
         if complete:
             self.bitfield = Bitfield.full(torrent.num_pieces)
         else:
@@ -195,10 +202,19 @@ class PieceManager:
         del self._partials[index]
         if self.corrupt_probability > 0 and self._rng.random() < self.corrupt_probability:
             self.hash_failures += 1
+            if self._trace is not None and self._trace.enabled:
+                self._trace.event(
+                    "bittorrent", "hash_failure", client=self._owner, piece=index
+                )
             return None
         self.bitfield.set(index)
         self.bytes_completed += self.torrent.piece_size(index)
         self.completion_order.append(index)
+        if self._trace is not None and self._trace.enabled:
+            self._trace.event(
+                "bittorrent", "piece_complete", client=self._owner,
+                piece=index, progress=round(self.progress, 4),
+            )
         return index
 
     def endgame_candidates(self, peer_bitfield: Bitfield) -> List[Tuple[int, int, int]]:

@@ -80,13 +80,32 @@ def main(argv=None) -> None:
                         help="piece count for fig4bc/fig9ab (20 or 400)")
     parser.add_argument("--chart", action="store_true",
                         help="also render an ASCII chart of the series")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the structured cross-layer event log "
+                             "of the run as JSONL to PATH (render it with "
+                             "scripts/run_report.py)")
     args = parser.parse_args(argv)
-    if args.figure == "all":
-        for name in list(SIMPLE) + list(PIECEWISE):
-            run_one(name, args.num_pieces, chart=args.chart)
-            print()
+
+    def run_all() -> None:
+        if args.figure == "all":
+            for name in list(SIMPLE) + list(PIECEWISE):
+                run_one(name, args.num_pieces, chart=args.chart)
+                print()
+        else:
+            run_one(args.figure, args.num_pieces, chart=args.chart)
+
+    if args.trace is not None:
+        from ..obs import tracing
+
+        try:
+            open(args.trace, "w", encoding="utf-8").close()
+        except OSError as exc:
+            parser.error(f"cannot write trace log {args.trace}: {exc}")
+        with tracing.capture(path=args.trace):
+            run_all()
+        print(f"[trace written to {args.trace}]")
     else:
-        run_one(args.figure, args.num_pieces, chart=args.chart)
+        run_all()
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from ..net import (
     attach_wired_host,
     attach_wireless_host,
 )
+from ..obs.tracing import JSONLSink, TraceSink
 from ..sim import Simulator
 from ..tcp import TCPConfig, TCPConnection, TCPStack
 
@@ -85,8 +86,15 @@ class WirelessPairTopology:
         ap_queue_packets: int = 50,
         core_delay: float = 0.02,
         tcp_config: Optional[TCPConfig] = None,
+        trace_path: Optional[str] = None,
     ) -> None:
         self.sim = Simulator(seed=seed)
+        # Observability: ``trace_path`` attaches a JSONL sink to this
+        # run's event bus, so a single topology can be traced without
+        # installing global defaults (render with scripts/run_report.py).
+        self.trace_sink: Optional[TraceSink] = None
+        if trace_path is not None:
+            self.trace_sink = self.sim.trace.attach(JSONLSink(trace_path))
         self.internet = Internet(self.sim, core_delay=core_delay)
         self.alloc = AddressAllocator()
         self.fixed = Host(self.sim, "fixed")
@@ -125,11 +133,16 @@ def run_transfer(
     rate: float = 60_000.0,
     ap_queue_packets: int = 50,
     warmup: float = 2.0,
+    trace_path: Optional[str] = None,
 ) -> TransferStats:
     """One fixed->mobile transfer (optionally with a reverse bulk stream
-    on the *same* connection — true bi-directional TCP)."""
+    on the *same* connection — true bi-directional TCP).
+
+    ``trace_path`` records the run's structured event log as JSONL (see
+    :mod:`repro.obs.tracing`)."""
     topo = WirelessPairTopology(
-        seed=seed, rate=rate, ber=ber, ap_queue_packets=ap_queue_packets
+        seed=seed, rate=rate, ber=ber, ap_queue_packets=ap_queue_packets,
+        trace_path=trace_path,
     )
     server_conns: List[TCPConnection] = []
     topo.mobile_stack.listen(6881, server_conns.append)
@@ -152,6 +165,8 @@ def run_transfer(
         server_conns[0].stats.payload_bytes_delivered - base_down if server_conns else 0
     )
     delivered_up = conn.stats.payload_bytes_delivered - base_up
+    if topo.trace_sink is not None:
+        topo.trace_sink.close()
     return TransferStats(delivered_down, delivered_up, duration)
 
 

@@ -8,8 +8,12 @@ global ``random`` module; they hold a reference to their simulator and use
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Optional
 
+from ..obs import tracing as _tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.profiling import KernelProfiler
 from .events import Event, EventQueue
 from .randomness import RngRegistry
 
@@ -20,6 +24,14 @@ class SimulationError(RuntimeError):
 
 class Simulator:
     """A single simulation run: clock + event queue + random streams.
+
+    Observability hangs directly off the kernel so every component that
+    holds a simulator reference can reach it: ``sim.trace`` is the
+    structured event bus (:class:`~repro.obs.tracing.TraceBus`, disabled
+    until a sink is attached — globally installed default sinks are
+    picked up here at construction), ``sim.metrics`` is the run's
+    :class:`~repro.obs.metrics.MetricsRegistry` sharing the virtual
+    clock, and :meth:`enable_profiling` arms per-event kernel timing.
 
     Parameters
     ----------
@@ -35,6 +47,10 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        self.trace = _tracing.TraceBus(clock=lambda: self._now)
+        _tracing.apply_defaults(self.trace)
+        self.metrics = MetricsRegistry(clock=lambda: self._now)
+        self._profiler: Optional[KernelProfiler] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -90,6 +106,14 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        profiler = self._profiler
+        trace = self.trace
+        if trace.enabled:
+            trace.event(
+                "sim", "run_begin", until=until, pending=len(self._queue)
+            )
+        run_started_wall = perf_counter() if profiler is not None else 0.0
+        run_started_sim = self._now
         try:
             while self._queue:
                 next_time = self._queue.peek_time()
@@ -101,7 +125,12 @@ class Simulator:
                 if event is None:
                     break
                 self._now = event.time
-                event.callback(*event.args)
+                if profiler is not None:
+                    started = perf_counter()
+                    event.callback(*event.args)
+                    profiler.record(event.callback, perf_counter() - started)
+                else:
+                    event.callback(*event.args)
                 self.events_processed += 1
                 processed += 1
                 if self._stopped:
@@ -112,13 +141,52 @@ class Simulator:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
             self._now = until
+        if profiler is not None:
+            profiler.note_run(
+                self._now - run_started_sim,
+                perf_counter() - run_started_wall,
+            )
+        if trace.enabled:
+            trace.event(
+                "sim",
+                "run_end",
+                processed=processed,
+                now=self._now,
+                stopped=self._stopped,
+            )
         return self._now
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
         self._stopped = True
+        if self.trace.enabled:
+            self.trace.event("sim", "stop")
 
     @property
     def pending_events(self) -> int:
         """Number of live events still queued."""
         return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def enable_profiling(self) -> KernelProfiler:
+        """Arm per-event kernel timing; returns the (reused) profiler.
+
+        While armed, every event dispatch is wall-clock timed and
+        aggregated per handler (see
+        :class:`~repro.obs.profiling.KernelProfiler`).  Unarmed runs pay
+        only an ``is None`` check per event.
+        """
+        if self._profiler is None:
+            self._profiler = KernelProfiler()
+        return self._profiler
+
+    def disable_profiling(self) -> None:
+        """Disarm profiling (collected statistics are discarded)."""
+        self._profiler = None
+
+    @property
+    def profiler(self) -> Optional[KernelProfiler]:
+        """The armed profiler, or ``None``."""
+        return self._profiler

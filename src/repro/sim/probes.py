@@ -2,152 +2,47 @@
 
 Every figure in the paper is a plot of a measured quantity — throughput,
 downloaded bytes over time, packets in flight per second, playable fraction.
-These probes are the instrumentation layer: protocol code records raw
-observations, experiment code reads them back as series.
+
+These classes are now thin compatibility shims over the unified
+observability layer in :mod:`repro.obs.metrics`: the implementations live
+there (clock-agnostic, registry-aware), while this module preserves the
+original simulator-first constructor signatures that protocol and
+experiment code were written against.  New code should prefer
+``sim.metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) directly.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from collections import deque
-from typing import Deque, Iterable, List, Optional, Tuple
-
+from ..obs import metrics as _metrics
 from .kernel import Simulator
 
+# Re-exported untouched: these never needed a simulator reference.
+TimeSeries = _metrics.TimeSeries
+mean = _metrics.mean
 
-class Counter:
+
+class Counter(_metrics.Counter):
     """A monotonically increasing named counter with optional history.
 
     With ``record_history=True`` every increment appends ``(time, total)``,
     which lets experiments reconstruct cumulative curves (e.g. Figure 3(c)'s
-    downloaded size vs time).
+    downloaded size vs time).  Shim over
+    :class:`repro.obs.metrics.Counter` bound to ``sim.now``.
     """
 
     def __init__(self, sim: Simulator, name: str, record_history: bool = False) -> None:
+        super().__init__(name, clock=lambda: sim.now, record_history=record_history)
         self._sim = sim
-        self.name = name
-        self.total = 0.0
-        self.history: List[Tuple[float, float]] = []
-        self._record = record_history
-
-    def add(self, amount: float = 1.0) -> None:
-        self.total += amount
-        if self._record:
-            self.history.append((self._sim.now, self.total))
-
-    def value_at(self, time: float) -> float:
-        """Cumulative value at ``time`` (requires history recording)."""
-        if not self._record:
-            raise ValueError(f"counter {self.name!r} does not record history")
-        idx = bisect_right(self.history, (time, float("inf")))
-        return self.history[idx - 1][1] if idx else 0.0
-
-    def reset(self) -> None:
-        self.total = 0.0
-        self.history.clear()
 
 
-class TimeSeries:
-    """An append-only series of ``(time, value)`` samples."""
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.times: List[float] = []
-        self.values: List[float] = []
-
-    def record(self, time: float, value: float) -> None:
-        if self.times and time < self.times[-1]:
-            raise ValueError("samples must be recorded in time order")
-        self.times.append(time)
-        self.values.append(value)
-
-    def __len__(self) -> int:
-        return len(self.times)
-
-    def __iter__(self) -> Iterable[Tuple[float, float]]:
-        return iter(zip(self.times, self.values))
-
-    def last(self) -> Optional[Tuple[float, float]]:
-        if not self.times:
-            return None
-        return self.times[-1], self.values[-1]
-
-    def window(self, start: float, end: float) -> "TimeSeries":
-        """Samples with ``start <= time < end`` as a new series."""
-        lo = bisect_left(self.times, start)
-        hi = bisect_left(self.times, end)
-        out = TimeSeries(self.name)
-        out.times = self.times[lo:hi]
-        out.values = self.values[lo:hi]
-        return out
-
-    def bucketed_counts(self, bucket: float, start: float = 0.0, end: Optional[float] = None) -> List[Tuple[float, int]]:
-        """Histogram of sample *counts* per time bucket.
-
-        Used for "number of packets per interval" plots (Figure 2(b, c)).
-        """
-        if bucket <= 0:
-            raise ValueError("bucket must be positive")
-        if end is None:
-            end = self.times[-1] if self.times else start
-        counts: List[Tuple[float, int]] = []
-        t = start
-        while t < end or (t == start and start == end):
-            lo = bisect_left(self.times, t)
-            hi = bisect_left(self.times, t + bucket)
-            counts.append((t, hi - lo))
-            t += bucket
-            if t >= end:
-                break
-        return counts
-
-
-class RateMeter:
+class RateMeter(_metrics.WindowRateMeter):
     """Sliding-window byte-rate estimator (bytes/second).
 
     Mirrors the 20-second rolling average real BitTorrent clients use for
-    tit-for-tat rate ranking; the window is configurable.
+    tit-for-tat rate ranking; the window is configurable.  Shim over
+    :class:`repro.obs.metrics.WindowRateMeter` bound to ``sim.now``.
     """
 
     def __init__(self, sim: Simulator, window: float = 20.0) -> None:
-        if window <= 0:
-            raise ValueError("window must be positive")
+        super().__init__(clock=lambda: sim.now, window=window)
         self._sim = sim
-        self.window = window
-        self._samples: Deque[Tuple[float, float]] = deque()
-        self._window_bytes = 0.0
-        self.total_bytes = 0.0
-
-    def add(self, nbytes: float) -> None:
-        """Record ``nbytes`` transferred now."""
-        now = self._sim.now
-        self._samples.append((now, nbytes))
-        self._window_bytes += nbytes
-        self.total_bytes += nbytes
-        self._expire(now)
-
-    def rate(self) -> float:
-        """Current rate over the sliding window, in bytes/second."""
-        now = self._sim.now
-        self._expire(now)
-        if not self._samples:
-            return 0.0
-        span = max(now - self._samples[0][0], 1e-9)
-        # Young meters (observed for less than a window) divide by the
-        # observed span so early readings are not artificially deflated.
-        return self._window_bytes / min(max(span, 1e-9), self.window) if span < self.window else self._window_bytes / self.window
-
-    def _expire(self, now: float) -> None:
-        cutoff = now - self.window
-        samples = self._samples
-        while samples and samples[0][0] < cutoff:
-            _, nbytes = samples.popleft()
-            self._window_bytes -= nbytes
-        if not samples:
-            self._window_bytes = 0.0
-
-
-def mean(values: Iterable[float]) -> float:
-    """Arithmetic mean; 0.0 for an empty iterable."""
-    vals = list(values)
-    return sum(vals) / len(vals) if vals else 0.0

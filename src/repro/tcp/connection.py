@@ -156,6 +156,14 @@ class TCPConnection:
         self.on_message: Optional[Callable[[Any], None]] = None
         self.on_close: Optional[Callable[[str], None]] = None
 
+    @property
+    def _trace_label(self) -> str:
+        """Stable connection label for structured trace events."""
+        return (
+            f"{self.local_ip}:{self.local_port}->"
+            f"{self.remote_ip}:{self.remote_port}"
+        )
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -282,6 +290,8 @@ class TCPConnection:
         if self.state in (SYN_SENT, SYN_RCVD):
             self.state = ESTABLISHED
             self._rto_timer.cancel()
+            if self.sim.trace.enabled:
+                self.sim.trace.event("tcp", "established", conn=self._trace_label)
             if self.on_established is not None:
                 self.on_established()
             self._try_output()
@@ -311,7 +321,13 @@ class TCPConnection:
                 if self._timed_valid:
                     self.rtt.sample(self.sim.now - self._timed_at)
                 self._timed_end = None
+            was_recovery = self.cc.in_recovery
             retransmit = self.cc.on_new_ack(acked, self.snd.nxt, ack)
+            if was_recovery and not self.cc.in_recovery and self.sim.trace.enabled:
+                self.sim.trace.event(
+                    "tcp", "recovery_exit", conn=self._trace_label,
+                    cwnd=self.cc.cwnd, ssthresh=self.cc.ssthresh,
+                )
             self.stats.payload_bytes_acked += acked
             if retransmit:
                 self._retransmit_head()
@@ -331,6 +347,11 @@ class TCPConnection:
             self.stats.dupacks_received += 1
             if self.cc.on_dupack(self._dupacks, flight_before, self.snd.nxt):
                 self.stats.fast_retransmits += 1
+                if self.sim.trace.enabled:
+                    self.sim.trace.event(
+                        "tcp", "fast_retransmit", conn=self._trace_label,
+                        ack=ack, cwnd=self.cc.cwnd, ssthresh=self.cc.ssthresh,
+                    )
                 self._retransmit_head()
             elif (
                 self.config.sack
@@ -578,6 +599,12 @@ class TCPConnection:
         if self._consecutive_timeouts > self.config.max_consecutive_timeouts:
             self._finish("timeout")
             return
+        if self.sim.trace.enabled:
+            self.sim.trace.event(
+                "tcp", "rto", conn=self._trace_label,
+                consecutive=self._consecutive_timeouts, rto=self.rtt.rto,
+                flight=self._flight_size(), cwnd=self.cc.cwnd,
+            )
         self.cc.on_timeout(self._flight_size())
         self.rtt.backoff()
         self._dupacks = 0
@@ -757,6 +784,12 @@ class TCPConnection:
             return
         self._finished = True
         self.state = CLOSED
+        if self.sim.trace.enabled:
+            self.sim.trace.event(
+                "tcp", "close", conn=self._trace_label, reason=reason,
+                retransmissions=self.stats.retransmissions,
+                timeouts=self.stats.timeouts,
+            )
         self._rto_timer.cancel()
         self._delack_timer.cancel()
         if self._unregister is not None:

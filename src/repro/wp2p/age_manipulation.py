@@ -125,7 +125,14 @@ class AgeBasedManipulation:
             self._flows[key] = flow
         if now - flow.window_start >= self.rtt_estimate:
             flow.cwnd_estimate = flow.window_bytes
-            flow.status = YOUNG if flow.cwnd_estimate < self.gamma_bytes else MATURE
+            status = YOUNG if flow.cwnd_estimate < self.gamma_bytes else MATURE
+            if status != flow.status and self.sim.trace.enabled:
+                self.sim.trace.event(
+                    "wp2p", "am_state", host=self.host.name,
+                    flow=f"{key[0]}<-{key[1]}:{key[2]}",
+                    status=status, cwnd_estimate=flow.cwnd_estimate,
+                )
+            flow.status = status
             flow.window_start = now
             flow.window_bytes = 0
         flow.window_bytes += segment.payload_len
@@ -151,6 +158,11 @@ class AgeBasedManipulation:
             if flow.status == YOUNG and segment.ack > flow.last_egress_ack:
                 flow.last_egress_ack = segment.ack
                 self.acks_decoupled += 1
+                if self.sim.trace.enabled:
+                    self.sim.trace.event(
+                        "wp2p", "am_decouple", host=self.host.name,
+                        ack=segment.ack, total=self.acks_decoupled,
+                    )
                 pure = TCPSegment(
                     segment.src_port, segment.dst_port, segment.seq,
                     segment.ack, ACK, 0, (), segment.rwnd,
@@ -168,6 +180,11 @@ class AgeBasedManipulation:
                     flow.dupack_count += 1
                     if flow.dupack_count % self.dupack_modulus == 0:
                         self.dupacks_dropped += 1
+                        if self.sim.trace.enabled:
+                            self.sim.trace.event(
+                                "wp2p", "am_drop_dupack", host=self.host.name,
+                                ack=segment.ack, total=self.dupacks_dropped,
+                            )
                         return []
             else:
                 flow.dupack_count = 0

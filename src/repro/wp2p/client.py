@@ -99,6 +99,8 @@ class WP2PClient(BitTorrentClient):
         self.wconfig = wconfig
         self.identity = IdentityRetention()
         self.identity.remember(torrent.info_hash, self.peer_id)
+        if isinstance(self.selector, MobilityAwareSelector):
+            self.selector.trace = sim.trace
 
         self.am: Optional[AgeBasedManipulation] = None
         if wconfig.am_enabled:
@@ -149,5 +151,12 @@ class WP2PClient(BitTorrentClient):
                 new_peer_id = False
                 self.peer_id = stored
         self.reconnections += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.event(
+                "wp2p", "task_reinit", client=self.name,
+                identity_retained=not new_peer_id,
+                role_reversal=not (forget_peers or new_peer_id),
+                reconnections=self.reconnections,
+            )
         super().restart_task(new_peer_id=new_peer_id, forget_peers=forget_peers)
         self.identity.remember(self.torrent.info_hash, self.peer_id)

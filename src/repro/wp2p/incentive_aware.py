@@ -109,17 +109,26 @@ class LIHDController:
         """One LIHD window: compare download rates, adjust the upload cap."""
         d_cur = self._measure_rate()
 
+        decision = "hold"
         if self._d_prev != 0:
             if self._d_prev < d_cur:
                 self.u_cur += self.alpha
                 self._dec_count = 0
+                decision = "increase"
             else:
                 self._dec_count += 1
                 self.u_cur -= self.beta * self._dec_count
+                decision = "decrease"
         self.u_cur = min(self.u_max, max(self.u_floor, self.u_cur))
         self._d_prev = d_cur
         self.client.set_upload_limit(self.u_cur)
         self.history.append((self.sim.now, self.u_cur, d_cur))
+        if self.sim.trace.enabled:
+            self.sim.trace.event(
+                "wp2p", "lihd_update", client=self.client.name,
+                decision=decision, upload_cap=self.u_cur,
+                download_rate=d_cur, dec_count=self._dec_count,
+            )
 
     @property
     def upload_rate(self) -> float:

@@ -79,6 +79,11 @@ class MobilityAwareSelector(PieceSelector):
         self._sequential = SequentialSelector()
         self.rarest_choices = 0
         self.sequential_choices = 0
+        # Optional structured tracing (repro.obs.tracing.TraceBus), wired
+        # by WP2PClient; fetch-mode *flips* (sequential <-> rarest) are the
+        # interesting signal, so only transitions are emitted.
+        self.trace = None
+        self._last_mode: Optional[str] = None
 
     def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
         if not candidates:
@@ -86,6 +91,15 @@ class MobilityAwareSelector(PieceSelector):
         pr = self.pr_schedule(ctx)
         if ctx.rng.random() < pr:
             self.rarest_choices += 1
-            return self._rarest.choose(candidates, ctx)
-        self.sequential_choices += 1
-        return self._sequential.choose(candidates, ctx)
+            mode, selector = "rarest", self._rarest
+        else:
+            self.sequential_choices += 1
+            mode, selector = "sequential", self._sequential
+        if mode != self._last_mode:
+            self._last_mode = mode
+            if self.trace is not None and self.trace.enabled:
+                self.trace.event(
+                    "wp2p", "ma_fetch_mode", mode=mode,
+                    pr=round(pr, 4), progress=round(ctx.progress, 4),
+                )
+        return selector.choose(candidates, ctx)
