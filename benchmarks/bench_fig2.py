@@ -2,19 +2,14 @@
 
 from __future__ import annotations
 
-from repro.experiments import (
-    drop_response_ratio,
-    fig2a,
-    fig2bc,
-    post_congestion_starvation,
-)
+from repro.experiments import drop_response_ratio, post_congestion_starvation
 
 from conftest import run_figure
 
 
 def test_fig2a_bitcp_vs_unitcp(benchmark):
     """Figure 2(a): uni-TCP beats bi-TCP at every BER; both fall with BER."""
-    result = run_figure(benchmark, fig2a, runs=3, duration=30.0)
+    result = run_figure(benchmark, "fig2a", runs=3, duration=30.0)
     bi = result.get("Bi-TCP")
     uni = result.get("Uni-TCP")
     # shape: uni above bi everywhere
@@ -28,7 +23,7 @@ def test_fig2a_bitcp_vs_unitcp(benchmark):
 def test_fig2bc_packets_after_congestion(benchmark):
     """Figure 2(b, c): the wireless leg starves after congestion for uni-TCP
     but stays loaded for bi-TCP (pure DUPACKs replace suppressed data)."""
-    result = run_figure(benchmark, fig2bc, duration=30.0)
+    result = run_figure(benchmark, "fig2bc", duration=30.0)
     uni = result.get("Uni-directional")
     bi = result.get("Bi-directional")
     uni_starved = post_congestion_starvation(uni, result.parameters["uni_drop_times"])

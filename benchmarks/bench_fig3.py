@@ -4,14 +4,12 @@ from __future__ import annotations
 
 from repro.sim import mean
 
-from repro.experiments import fig3a, fig3b, fig3c
-
 from conftest import run_figure
 
 
 def test_fig3a_upload_cap_wired(benchmark):
     """Figure 3(a): on a wired link, more upload buys more download."""
-    result = run_figure(benchmark, fig3a, runs=3, duration=40.0)
+    result = run_figure(benchmark, "fig3a", runs=3, duration=40.0)
     series = result.get("Wired")
     low = mean(y for x, y in zip(series.x, series.y) if x <= 30)
     high = mean(y for x, y in zip(series.x, series.y) if x >= 50)
@@ -22,7 +20,7 @@ def test_fig3a_upload_cap_wired(benchmark):
 def test_fig3b_upload_cap_wireless(benchmark):
     """Figure 3(b): on a shared wireless channel the curve peaks early and
     then falls — uploads contend with downloads for airtime."""
-    result = run_figure(benchmark, fig3b, runs=3, duration=40.0)
+    result = run_figure(benchmark, "fig3b", runs=3, duration=40.0)
     series = result.get("Wireless")
     peak_x = series.peak_x
     peak_y = max(series.y)
@@ -35,7 +33,7 @@ def test_fig3b_upload_cap_wireless(benchmark):
 def test_fig3c_incentives_and_mobility(benchmark):
     """Figure 3(c): uploading pays without mobility; with periodic IP
     changes the incentive mechanism is neutralised."""
-    result = run_figure(benchmark, fig3c, runs=1, duration=360.0)
+    result = run_figure(benchmark, "fig3c", runs=1, duration=360.0)
     nm_up = result.get("No mobility, uploading").y[-1]
     nm_noup = result.get("No mobility, no uploading").y[-1]
     m_up = result.get("Mobility, uploading").y[-1]

@@ -2,15 +2,13 @@
 
 from __future__ import annotations
 
-from repro.experiments import fig4a, fig4bc
-
 from conftest import run_figure
 
 
 def test_fig4a_server_mobility(benchmark):
     """Figure 4(a): faster server mobility lowers fixed-peer throughput;
     all-mobile is worse than one-mobile."""
-    result = run_figure(benchmark, fig4a, runs=1, duration=240.0)
+    result = run_figure(benchmark, "fig4a", runs=1, duration=240.0)
     one = result.get("One peer is mobile")
     all_m = result.get("All peers are mobile")
     # no-mobility (x=0) beats the fastest mobility (last x) in both series
@@ -22,7 +20,7 @@ def test_fig4a_server_mobility(benchmark):
 
 def test_fig4b_playability_20_pieces(benchmark):
     """Figure 4(b): rarest-first leaves a 5 MB file mostly unplayable."""
-    result = run_figure(benchmark, fig4bc, num_pieces=20, runs=10)
+    result = run_figure(benchmark, "fig4bc", num_pieces=20, runs=10)
     series = result.series[0]
     # paper: at 60% downloaded, <10-15% playable
     assert series.y_at(60.0) <= 25.0
@@ -33,7 +31,7 @@ def test_fig4b_playability_20_pieces(benchmark):
 def test_fig4c_playability_400_pieces(benchmark):
     """Figure 4(c): for 400 pieces the playable prefix is ~zero until the
     download is nearly complete."""
-    result = run_figure(benchmark, fig4bc, num_pieces=400, runs=5)
+    result = run_figure(benchmark, "fig4bc", num_pieces=400, runs=5)
     series = result.series[0]
     assert series.y_at(60.0) <= 5.0
     assert series.y_at(90.0) <= 30.0

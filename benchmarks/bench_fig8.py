@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from repro.sim import mean
 
-from repro.experiments import fig8a, fig8b, fig8c
-
 from conftest import run_figure
 
 
@@ -18,7 +16,7 @@ def test_fig8a_age_based_manipulation(benchmark):
     paper's 1e-6..1.5e-5 range and concentrates at the appended 3e-5 point
     where ACK losses genuinely bind; see EXPERIMENTS.md.
     """
-    result = run_figure(benchmark, fig8a, runs=6, duration=60.0)
+    result = run_figure(benchmark, "fig8a", runs=6, duration=60.0)
     default = result.get("Default P2P")
     wp2p = result.get("wP2P")
     # at the highest swept BER (3e-5, where ACK losses bind), clearly ahead
@@ -34,7 +32,7 @@ def test_fig8a_age_based_manipulation(benchmark):
 def test_fig8b_identity_retention(benchmark):
     """Figure 8(b): identity retention keeps the mobile peer's credit
     across handoffs; the default client restarts as a stranger."""
-    result = run_figure(benchmark, fig8b, runs=2, duration=240.0)
+    result = run_figure(benchmark, "fig8b", runs=2, duration=240.0)
     default = result.get("Default P2P")
     wp2p = result.get("wP2P")
     assert wp2p.y[-1] > default.y[-1]
@@ -49,7 +47,7 @@ def test_fig8b_identity_retention(benchmark):
 def test_fig8c_lihd(benchmark):
     """Figure 8(c): LIHD finds the upload rate that maximises downloads;
     the uncapped default loses throughput to self-contention."""
-    result = run_figure(benchmark, fig8c, runs=3, duration=50.0)
+    result = run_figure(benchmark, "fig8c", runs=3, duration=50.0)
     default = result.get("Default P2P")
     wp2p = result.get("wP2P")
     # wP2P at least matches the default at every bandwidth...

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-from repro.experiments import fig9ab, fig9c
-
 from conftest import run_figure
 
 
 def test_fig9a_mobility_aware_fetching_small(benchmark):
     """Figure 9(a): MF keeps the 5 MB file largely playable mid-download."""
-    result = run_figure(benchmark, fig9ab, num_pieces=20, runs=10)
+    result = run_figure(benchmark, "fig9ab", num_pieces=20, runs=10)
     default = result.get("Default P2P")
     wp2p = result.get("wP2P")
     # wP2P several times more playable at 50% downloaded
@@ -21,7 +19,7 @@ def test_fig9a_mobility_aware_fetching_small(benchmark):
 
 def test_fig9b_mobility_aware_fetching_large(benchmark):
     """Figure 9(b): the gap is even starker for the 400-piece file."""
-    result = run_figure(benchmark, fig9ab, num_pieces=400, runs=5)
+    result = run_figure(benchmark, "fig9ab", num_pieces=400, runs=5)
     default = result.get("Default P2P")
     wp2p = result.get("wP2P")
     assert wp2p.y_at(50.0) >= default.y_at(50.0) + 10.0
@@ -31,7 +29,7 @@ def test_fig9b_mobility_aware_fetching_large(benchmark):
 def test_fig9c_role_reversal(benchmark):
     """Figure 9(c): role reversal preserves mobile seeds' upload throughput,
     increasingly so at faster mobility."""
-    result = run_figure(benchmark, fig9c, runs=1, duration=300.0)
+    result = run_figure(benchmark, "fig9c", runs=1, duration=300.0)
     default = result.get("Default P2P")
     wp2p = result.get("wP2P")
     # wP2P ahead at every mobility rate

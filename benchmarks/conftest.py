@@ -5,20 +5,41 @@ simulation campaigns, not microbenchmarks, so every bench runs exactly one
 round (``benchmark.pedantic``), prints the measured series next to the
 paper's expectation, and attaches the series to the benchmark record via
 ``extra_info`` so ``--benchmark-json`` output carries the data.
+
+Figures are named scenarios executed through :func:`repro.runner.
+run_scenario` — uncached (a benchmark must actually simulate) and serial
+by default so the measured wall time stays comparable across machines.
+Set ``REPRO_BENCH_JOBS=N`` to fan cells out over ``N`` worker processes
+when you only care about the figures, not the timings.  Ablation benches
+that assemble custom results still pass a plain callable.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import os
+from typing import Callable, Union
 
-import pytest
-
+import repro.experiments  # noqa: F401  — registers the figure scenarios
 from repro.analysis import ExperimentResult
+from repro.runner import run_scenario
 
 
-def run_figure(benchmark, fn: Callable[..., ExperimentResult], **params) -> ExperimentResult:
-    """Execute one figure reproduction under pytest-benchmark."""
-    result = benchmark.pedantic(lambda: fn(**params), rounds=1, iterations=1)
+def run_figure(
+    benchmark,
+    figure: Union[str, Callable[..., ExperimentResult]],
+    **params,
+) -> ExperimentResult:
+    """Execute one figure reproduction under pytest-benchmark.
+
+    ``figure`` is a registered scenario name (the normal case) or a
+    callable returning an :class:`ExperimentResult` (custom ablations).
+    """
+    if callable(figure):
+        fn = lambda: figure(**params)  # noqa: E731
+    else:
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+        fn = lambda: run_scenario(figure, params or None, jobs=jobs)  # noqa: E731
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
     print()
     print(result.table())
     benchmark.extra_info["figure"] = result.figure

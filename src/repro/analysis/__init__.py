@@ -7,7 +7,14 @@ from .runreport import (
     render_report,
     report_from_jsonl,
 )
-from .stats import Summary, clearly_greater, relative_gain, summarize, t_critical_95
+from .stats import (
+    Summary,
+    clearly_greater,
+    describe,
+    relative_gain,
+    summarize,
+    t_critical_95,
+)
 from .series import ExperimentResult, Series, average_runs
 
 __all__ = [
@@ -23,6 +30,7 @@ __all__ = [
     "report_from_jsonl",
     "Summary",
     "clearly_greater",
+    "describe",
     "relative_gain",
     "summarize",
     "t_critical_95",

@@ -15,15 +15,23 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass
 class Series:
-    """One labelled curve: paired x/y values."""
+    """One labelled curve: paired x/y values.
+
+    ``y_err`` optionally carries the per-point spread across seeds (the
+    95% CI half-width the runner computes); when present, tables render
+    each value as ``mean ± err``.
+    """
 
     label: str
     x: List[float]
     y: List[float]
+    y_err: Optional[List[float]] = None
 
     def __post_init__(self) -> None:
         if len(self.x) != len(self.y):
             raise ValueError("x and y must have the same length")
+        if self.y_err is not None and len(self.y_err) != len(self.y):
+            raise ValueError("y_err must have the same length as y")
 
     def __len__(self) -> int:
         return len(self.x)
@@ -33,6 +41,15 @@ class Series:
         for xv, yv in zip(self.x, self.y):
             if xv == x_value:
                 return yv
+        raise KeyError(f"x={x_value!r} not in series {self.label!r}")
+
+    def err_at(self, x_value: float) -> Optional[float]:
+        """Spread at an exact x, or ``None`` when no spread is recorded."""
+        if self.y_err is None:
+            return None
+        for xv, err in zip(self.x, self.y_err):
+            if xv == x_value:
+                return err
         raise KeyError(f"x={x_value!r} not in series {self.label!r}")
 
     @property
@@ -83,9 +100,14 @@ class ExperimentResult:
             row = [_fmt_x(xv)]
             for s in self.series:
                 try:
-                    row.append(float_fmt.format(s.y_at(xv)))
+                    cell = float_fmt.format(s.y_at(xv))
+                    err = s.err_at(xv)
                 except KeyError:
                     row.append("-")
+                    continue
+                if err is not None and err > 0:
+                    cell += " ±" + float_fmt.format(err)
+                row.append(cell)
             rows.append(row)
         widths = [
             max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])

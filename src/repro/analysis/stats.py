@@ -38,6 +38,11 @@ class Summary:
     ci95: float
 
     @property
+    def stderr(self) -> float:
+        """Standard error of the mean (0.0 for a single observation)."""
+        return self.stdev / math.sqrt(self.n) if self.n > 1 else 0.0
+
+    @property
     def low(self) -> float:
         return self.mean - self.ci95
 
@@ -62,6 +67,22 @@ def summarize(values: Sequence[float]) -> Summary:
     stdev = math.sqrt(var)
     ci95 = t_critical_95(n - 1) * stdev / math.sqrt(n)
     return Summary(n, mean, stdev, ci95)
+
+
+def describe(values: Sequence[float]) -> dict:
+    """``{"n", "mean", "stderr", "ci95"}`` for a sample.
+
+    The runner's seed-spread aggregation helper: scenarios report the
+    mean *and* its dispersion across seeds, and result tables render the
+    95% half-width next to each mean.
+    """
+    summary = summarize(values)
+    return {
+        "n": summary.n,
+        "mean": summary.mean,
+        "stderr": summary.stderr,
+        "ci95": summary.ci95,
+    }
 
 
 def clearly_greater(a: Sequence[float], b: Sequence[float]) -> bool:

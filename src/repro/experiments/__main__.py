@@ -1,65 +1,97 @@
 """Command-line runner for the figure reproductions.
 
-Usage::
+New-style usage (the scenario registry + parallel runner)::
+
+    python -m repro.experiments list                 # what can I run?
+    python -m repro.experiments list --json
+    python -m repro.experiments run fig2a --jobs 4   # parallel, cached
+    python -m repro.experiments run fig4bc --num-pieces 400 --json
+    python -m repro.experiments run all --jobs 8 --no-cache
+    python -m repro.experiments run fig3a --set runs=2 --set duration=10
+
+Legacy spellings keep working (serial, uncached, exactly as before)::
 
     python -m repro.experiments fig2a
     python -m repro.experiments fig4bc --num-pieces 400
-    python -m repro.experiments all          # everything (slow)
+    python -m repro.experiments all --chart --trace run.jsonl
 
-Each command runs the experiment at its benchmark-scale defaults and prints
-the paper-style table.
+``run`` caches each simulated cell on disk keyed by (scenario, params,
+seed, code version); a re-run with nothing changed executes zero
+simulations.  ``--trace`` installs a global JSONL trace sink, which
+forces serial execution (the sink lives in this process).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Callable, Dict
+from dataclasses import asdict
+from typing import Dict, List, Optional
 
-from . import (
-    fig2a,
-    fig2bc,
-    fig3a,
-    fig3b,
-    fig3c,
-    fig4a,
-    fig4bc,
-    fig8a,
-    fig8b,
-    fig8c,
-    fig9ab,
-    fig9c,
+from ..runner import (
+    Runner,
+    ResultCache,
+    UnknownScenarioError,
+    default_cache_dir,
+    get_scenario,
+    print_progress,
+    run_scenario,
+    scenario_names,
 )
 
-SIMPLE: Dict[str, Callable] = {
-    "fig2a": fig2a,
-    "fig2bc": fig2bc,
-    "fig3a": fig3a,
-    "fig3b": fig3b,
-    "fig3c": fig3c,
-    "fig4a": fig4a,
-    "fig8a": fig8a,
-    "fig8b": fig8b,
-    "fig8c": fig8c,
-    "fig9c": fig9c,
-}
-
-PIECEWISE: Dict[str, Callable] = {
-    "fig4bc": fig4bc,
-    "fig9ab": fig9ab,
-}
+# Legacy `all` order (the pre-registry CLI ran the simple figures first,
+# then the piecewise ones); kept stable so logs remain comparable.
+ALL_ORDER: List[str] = [
+    "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
+    "fig8a", "fig8b", "fig8c", "fig9c", "fig4bc", "fig9ab",
+]
 
 
-def run_one(name: str, num_pieces: int, chart: bool = False) -> None:
+def _overrides_for(name: str, num_pieces: Optional[int],
+                   sets: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Merge --num-pieces / --set into overrides this scenario accepts."""
+    overrides: Dict[str, object] = dict(sets or {})
+    if num_pieces is not None and "num_pieces" in get_scenario(name).defaults:
+        overrides.setdefault("num_pieces", num_pieces)
+    return overrides
+
+
+def _parse_set(pairs: List[str]) -> Dict[str, object]:
+    """``key=value`` pairs; values are parsed as JSON, else kept as strings."""
+    out: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        try:
+            out[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[key] = raw
+    return out
+
+
+def _resolve_names(figure: str) -> List[str]:
+    if figure == "all":
+        known = scenario_names()
+        return [n for n in ALL_ORDER if n in known] + [
+            n for n in known if n not in ALL_ORDER
+        ]
+    try:
+        get_scenario(figure)
+    except UnknownScenarioError as exc:
+        # The CLI turns the registry error into a clean exit; library
+        # callers of get_scenario/run_scenario get the exception itself.
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    return [figure]
+
+
+def run_one(name: str, num_pieces: int = 20, chart: bool = False) -> None:
+    """Legacy front door: run one figure serially and print its table."""
+    _resolve_names(name)  # unknown figures exit cleanly, as they always did
     start = time.time()
-    if name in SIMPLE:
-        result = SIMPLE[name]()
-    elif name in PIECEWISE:
-        result = PIECEWISE[name](num_pieces=num_pieces)
-    else:
-        raise SystemExit(f"unknown figure {name!r}; choose from "
-                         f"{sorted(SIMPLE) + sorted(PIECEWISE)} or 'all'")
+    result = run_scenario(name, _overrides_for(name, num_pieces))
     print(result.table())
     if chart:
         from ..analysis import ascii_chart
@@ -69,30 +101,78 @@ def run_one(name: str, num_pieces: int, chart: bool = False) -> None:
     print(f"[{time.time() - start:.1f}s]")
 
 
-def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Reproduce one figure of the paper and print its table.",
-    )
-    parser.add_argument("figure", help="fig2a|fig2bc|fig3a|fig3b|fig3c|fig4a|"
-                                       "fig4bc|fig8a|fig8b|fig8c|fig9ab|fig9c|all")
-    parser.add_argument("--num-pieces", type=int, default=20,
-                        help="piece count for fig4bc/fig9ab (20 or 400)")
-    parser.add_argument("--chart", action="store_true",
-                        help="also render an ASCII chart of the series")
-    parser.add_argument("--trace", metavar="PATH", default=None,
-                        help="write the structured cross-layer event log "
-                             "of the run as JSONL to PATH (render it with "
-                             "scripts/run_report.py)")
-    args = parser.parse_args(argv)
+def _result_payload(run) -> Dict[str, object]:
+    payload = asdict(run.result)
+    payload["scenario"] = run.spec.name
+    payload["spec_hash"] = run.spec.spec_hash()
+    payload["stats"] = {
+        "total_cells": run.stats.total_cells,
+        "executed": run.stats.executed,
+        "cache_hits": run.stats.cache_hits,
+        "failed": run.stats.failed,
+        "retries": run.stats.retries,
+        "elapsed_s": run.stats.elapsed_s,
+    }
+    payload["failures"] = [
+        {"key": list(f.key), "seed": f.seed, "attempts": f.attempts,
+         "error": f.error}
+        for f in run.failures
+    ]
+    return payload
+
+
+def _cmd_list(args) -> None:
+    names = scenario_names()
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "name": n,
+                    "description": get_scenario(n).description,
+                    "defaults": get_scenario(n).params(),
+                }
+                for n in names
+            ],
+            indent=2, sort_keys=True,
+        ))
+        return
+    width = max(len(n) for n in names)
+    for n in names:
+        print(f"{n.ljust(width)}  {get_scenario(n).description}")
+
+
+def _cmd_run(args) -> None:
+    names = []
+    for figure in args.figures:
+        for name in _resolve_names(figure):
+            if name not in names:
+                names.append(name)
+    sets = _parse_set(args.set or [])
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None if args.quiet else print_progress
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
 
     def run_all() -> None:
-        if args.figure == "all":
-            for name in list(SIMPLE) + list(PIECEWISE):
-                run_one(name, args.num_pieces, chart=args.chart)
+        payloads = []
+        for name in names:
+            start = time.time()
+            run = runner.run(name, _overrides_for(name, args.num_pieces, sets))
+            if args.json:
+                payloads.append(_result_payload(run))
+            else:
+                print(run.result.table())
+                if args.chart:
+                    from ..analysis import ascii_chart
+
+                    print()
+                    print(ascii_chart(run.result))
+                for failure in run.failures:
+                    print(f"warning: {failure.summary()}", file=sys.stderr)
+                print(f"[{run.stats.summary()} | {time.time() - start:.1f}s]")
                 print()
-        else:
-            run_one(args.figure, args.num_pieces, chart=args.chart)
+        if args.json:
+            out = payloads[0] if len(payloads) == 1 else payloads
+            print(json.dumps(out, indent=2, sort_keys=True))
 
     if args.trace is not None:
         from ..obs import tracing
@@ -100,12 +180,106 @@ def main(argv=None) -> None:
         try:
             open(args.trace, "w", encoding="utf-8").close()
         except OSError as exc:
-            parser.error(f"cannot write trace log {args.trace}: {exc}")
+            raise SystemExit(f"cannot write trace log {args.trace}: {exc}")
         with tracing.capture(path=args.trace):
             run_all()
-        print(f"[trace written to {args.trace}]")
+        print(f"[trace written to {args.trace}]", file=sys.stderr)
     else:
         run_all()
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for independent cells (default 1)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the result as JSON instead of a table")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always simulate; do not read or write the cache")
+    parser.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
+                        help="result cache location (default: $REPRO_CACHE_DIR "
+                             "or ./.repro-cache)")
+    parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                        help="override a scenario parameter (JSON value); "
+                             "repeatable")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress per-cell progress lines on stderr")
+    parser.add_argument("--num-pieces", type=int, default=None,
+                        help="piece count for fig4bc/fig9ab (20 or 400)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render an ASCII chart of the series")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the structured cross-layer event log of "
+                             "the run as JSONL to PATH (forces --jobs 1; "
+                             "render it with scripts/run_report.py)")
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures via the scenario registry.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--json", action="store_true",
+                        help="emit names, descriptions and defaults as JSON")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser(
+        "run", help="run one or more scenarios (or 'all') through the runner"
+    )
+    p_run.add_argument("figures", nargs="+", metavar="figure",
+                       help="|".join(scenario_names()) + "|all")
+    _add_run_arguments(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    # Legacy spelling: `python -m repro.experiments fig2a [--num-pieces N]
+    # [--chart] [--trace PATH]` — serial and uncached, exactly as before
+    # the registry existed.
+    if argv and argv[0] not in ("list", "run", "-h", "--help"):
+        legacy = argparse.ArgumentParser(
+            prog="python -m repro.experiments",
+            description="Reproduce one figure of the paper and print its table.",
+        )
+        legacy.add_argument("figure",
+                            help="|".join(scenario_names()) + "|all")
+        legacy.add_argument("--num-pieces", type=int, default=20,
+                            help="piece count for fig4bc/fig9ab (20 or 400)")
+        legacy.add_argument("--chart", action="store_true",
+                            help="also render an ASCII chart of the series")
+        legacy.add_argument("--trace", metavar="PATH", default=None,
+                            help="write the structured cross-layer event log "
+                                 "of the run as JSONL to PATH (render it with "
+                                 "scripts/run_report.py)")
+        args = legacy.parse_args(argv)
+
+        def run_all() -> None:
+            if args.figure == "all":
+                for name in _resolve_names("all"):
+                    run_one(name, args.num_pieces, chart=args.chart)
+                    print()
+            else:
+                run_one(args.figure, args.num_pieces, chart=args.chart)
+
+        if args.trace is not None:
+            from ..obs import tracing
+
+            try:
+                open(args.trace, "w", encoding="utf-8").close()
+            except OSError as exc:
+                legacy.error(f"cannot write trace log {args.trace}: {exc}")
+            with tracing.capture(path=args.trace):
+                run_all()
+            print(f"[trace written to {args.trace}]")
+        else:
+            run_all()
+        return
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.error("choose a command: list | run | <figure>")
+    args.func(args)
 
 
 if __name__ == "__main__":

@@ -144,29 +144,33 @@ def run_transfer(
         seed=seed, rate=rate, ber=ber, ap_queue_packets=ap_queue_packets,
         trace_path=trace_path,
     )
-    server_conns: List[TCPConnection] = []
-    topo.mobile_stack.listen(6881, server_conns.append)
-    conn = topo.fixed_stack.connect(topo.mobile.ip, 6881)
-    down_sender = BulkSender(topo.sim, conn)
-    topo.sim.schedule(0.1, down_sender.start)
-    if bidirectional:
-        def start_reverse() -> None:
-            if server_conns:
-                BulkSender(topo.sim, server_conns[0]).start()
-            else:
-                topo.sim.schedule(0.2, start_reverse)
+    # try/finally so an exception mid-run still flushes and closes the
+    # trace sink — a truncated-but-valid JSONL log beats a leaked handle.
+    try:
+        server_conns: List[TCPConnection] = []
+        topo.mobile_stack.listen(6881, server_conns.append)
+        conn = topo.fixed_stack.connect(topo.mobile.ip, 6881)
+        down_sender = BulkSender(topo.sim, conn)
+        topo.sim.schedule(0.1, down_sender.start)
+        if bidirectional:
+            def start_reverse() -> None:
+                if server_conns:
+                    BulkSender(topo.sim, server_conns[0]).start()
+                else:
+                    topo.sim.schedule(0.2, start_reverse)
 
-        topo.sim.schedule(0.3, start_reverse)
-    topo.sim.run(until=warmup)
-    base_down = server_conns[0].stats.payload_bytes_delivered if server_conns else 0
-    base_up = conn.stats.payload_bytes_delivered
-    topo.sim.run(until=warmup + duration)
-    delivered_down = (
-        server_conns[0].stats.payload_bytes_delivered - base_down if server_conns else 0
-    )
-    delivered_up = conn.stats.payload_bytes_delivered - base_up
-    if topo.trace_sink is not None:
-        topo.trace_sink.close()
+            topo.sim.schedule(0.3, start_reverse)
+        topo.sim.run(until=warmup)
+        base_down = server_conns[0].stats.payload_bytes_delivered if server_conns else 0
+        base_up = conn.stats.payload_bytes_delivered
+        topo.sim.run(until=warmup + duration)
+        delivered_down = (
+            server_conns[0].stats.payload_bytes_delivered - base_down if server_conns else 0
+        )
+        delivered_up = conn.stats.payload_bytes_delivered - base_up
+    finally:
+        if topo.trace_sink is not None:
+            topo.trace_sink.close()
     return TransferStats(delivered_down, delivered_up, duration)
 
 

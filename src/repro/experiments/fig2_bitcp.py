@@ -16,11 +16,67 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..analysis import ExperimentResult, Series
+from ..analysis import ExperimentResult, Series, summarize
+from ..runner import Scenario, collect, run_scenario, scenario
 from ..sim import mean
-from .base import BulkSender, WirelessPairTopology, mean_over_seeds, run_transfer
+from .base import BulkSender, WirelessPairTopology, run_transfer
 
 DEFAULT_BERS: Tuple[float, ...] = (0.0, 5e-6, 1e-5, 1.5e-5, 2e-5)
+
+
+@scenario
+class Fig2A(Scenario):
+    """Bi-TCP vs uni-TCP downloading throughput across BER (Figure 2(a))."""
+
+    name = "fig2a"
+    description = "Figure 2(a): bi- vs uni-directional TCP throughput over BER"
+    defaults = {
+        "bers": list(DEFAULT_BERS),
+        "runs": 5,
+        "duration": 40.0,
+        "rate": 60_000.0,
+        "base_seed": 100,
+    }
+
+    def cells(self, p):
+        for mode in ("uni", "bi"):
+            for ber in p["bers"]:
+                for i in range(p["runs"]):
+                    yield (mode, ber), p["base_seed"] + i
+
+    def run_cell(self, key, seed, p):
+        mode, ber = key
+        return run_transfer(
+            seed, ber, bidirectional=(mode == "bi"),
+            duration=p["duration"], rate=p["rate"],
+        ).down_rate_kbps
+
+    def assemble(self, p, values, failures):
+        def sweep(mode: str) -> Series:
+            ys: List[float] = []
+            errs: List[float] = []
+            for ber in p["bers"]:
+                vals = collect(values, (mode, ber))
+                ys.append(sum(vals) / len(vals))
+                errs.append(summarize(vals).ci95)
+            label = "Bi-TCP" if mode == "bi" else "Uni-TCP"
+            return Series(label, list(p["bers"]), ys, y_err=errs)
+
+        return ExperimentResult(
+            figure="Figure 2(a)",
+            title="Throughput comparison: bi- vs uni-directional TCP",
+            x_label="BER",
+            y_label="Downloading throughput (KB/s)",
+            series=[sweep("bi"), sweep("uni")],
+            paper_expectation=(
+                "uni-TCP above bi-TCP at every BER; both decline as BER rises; "
+                "the BER=0 gap captures upstream/downstream self-contention"
+            ),
+            parameters={
+                "runs": p["runs"], "duration_s": p["duration"],
+                "channel_Bps": p["rate"],
+            },
+        )
 
 
 def fig2a(
@@ -31,38 +87,10 @@ def fig2a(
     base_seed: int = 100,
 ) -> ExperimentResult:
     """Bi-TCP vs uni-TCP downloading throughput across BER (Figure 2(a))."""
-    uni: List[float] = []
-    bi: List[float] = []
-    for ber in bers:
-        uni.append(
-            mean_over_seeds(
-                lambda s: run_transfer(s, ber, bidirectional=False,
-                                       duration=duration, rate=rate).down_rate_kbps,
-                runs, base_seed,
-            )
-        )
-        bi.append(
-            mean_over_seeds(
-                lambda s: run_transfer(s, ber, bidirectional=True,
-                                       duration=duration, rate=rate).down_rate_kbps,
-                runs, base_seed,
-            )
-        )
-    return ExperimentResult(
-        figure="Figure 2(a)",
-        title="Throughput comparison: bi- vs uni-directional TCP",
-        x_label="BER",
-        y_label="Downloading throughput (KB/s)",
-        series=[
-            Series("Bi-TCP", list(bers), bi),
-            Series("Uni-TCP", list(bers), uni),
-        ],
-        paper_expectation=(
-            "uni-TCP above bi-TCP at every BER; both decline as BER rises; "
-            "the BER=0 gap captures upstream/downstream self-contention"
-        ),
-        parameters={"runs": runs, "duration_s": duration, "channel_Bps": rate},
-    )
+    return run_scenario("fig2a", {
+        "bers": list(bers), "runs": runs, "duration": duration,
+        "rate": rate, "base_seed": base_seed,
+    })
 
 
 def _packets_and_drops(
@@ -97,6 +125,63 @@ def _packets_and_drops(
     return counts, drops
 
 
+@scenario
+class Fig2BC(Scenario):
+    """Packets on the wireless leg vs time, uni (2b) and bi (2c)."""
+
+    name = "fig2bc"
+    description = (
+        "Figure 2(b, c): client packets on the wireless leg around congestion"
+    )
+    defaults = {
+        "duration": 20.0,
+        "rate": 60_000.0,
+        "ap_queue_packets": 6,
+        "bucket": 0.25,
+        "seed": 7,
+        "core_delay": 0.1,
+    }
+
+    def cells(self, p):
+        yield ("uni",), p["seed"]
+        yield ("bi",), p["seed"]
+
+    def run_cell(self, key, seed, p):
+        counts, drops = _packets_and_drops(
+            seed, key[0] == "bi", p["duration"], p["rate"],
+            p["ap_queue_packets"], p["bucket"], p["core_delay"],
+        )
+        return {"counts": [[t, c] for t, c in counts], "drops": drops}
+
+    def assemble(self, p, values, failures):
+        uni = collect(values, ("uni",))[0]
+        bi = collect(values, ("bi",))[0]
+        return ExperimentResult(
+            figure="Figure 2(b, c)",
+            title="Client packets on the wireless leg around congestion events",
+            x_label="Time (s)",
+            y_label="Packets sent from client per bucket",
+            series=[
+                Series("Uni-directional", [t for t, _ in uni["counts"]],
+                       [float(c) for _, c in uni["counts"]]),
+                Series("Bi-directional", [t for t, _ in bi["counts"]],
+                       [float(c) for _, c in bi["counts"]]),
+            ],
+            paper_expectation=(
+                "after a buffer drop, the uni-directional client's packet count "
+                "decreases (fewer data -> fewer ACKs); the bi-directional "
+                "client's stays approximately level (pure DUPACKs offset the "
+                "halved data stream)"
+            ),
+            parameters={
+                "uni_drop_times": uni["drops"],
+                "bi_drop_times": bi["drops"],
+                "ap_queue_packets": p["ap_queue_packets"],
+                "bucket_s": p["bucket"],
+            },
+        )
+
+
 def fig2bc(
     duration: float = 20.0,
     rate: float = 60_000.0,
@@ -111,35 +196,10 @@ def fig2bc(
     bandwidth-delay product, so halving the window after a buffer drop
     genuinely starves the wireless leg (the regime the paper plots).
     """
-    uni_counts, uni_drops = _packets_and_drops(
-        seed, False, duration, rate, ap_queue_packets, bucket, core_delay
-    )
-    bi_counts, bi_drops = _packets_and_drops(
-        seed, True, duration, rate, ap_queue_packets, bucket, core_delay
-    )
-    times = [t for t, _ in uni_counts]
-    return ExperimentResult(
-        figure="Figure 2(b, c)",
-        title="Client packets on the wireless leg around congestion events",
-        x_label="Time (s)",
-        y_label="Packets sent from client per bucket",
-        series=[
-            Series("Uni-directional", times, [float(c) for _, c in uni_counts]),
-            Series("Bi-directional", [t for t, _ in bi_counts], [float(c) for _, c in bi_counts]),
-        ],
-        paper_expectation=(
-            "after a buffer drop, the uni-directional client's packet count "
-            "decreases (fewer data -> fewer ACKs); the bi-directional "
-            "client's stays approximately level (pure DUPACKs offset the "
-            "halved data stream)"
-        ),
-        parameters={
-            "uni_drop_times": uni_drops,
-            "bi_drop_times": bi_drops,
-            "ap_queue_packets": ap_queue_packets,
-            "bucket_s": bucket,
-        },
-    )
+    return run_scenario("fig2bc", {
+        "duration": duration, "rate": rate, "ap_queue_packets": ap_queue_packets,
+        "bucket": bucket, "seed": seed, "core_delay": core_delay,
+    })
 
 
 def cluster_drops(drop_times: Sequence[float], min_gap: float = 1.0) -> List[float]:

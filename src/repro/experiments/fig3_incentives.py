@@ -10,6 +10,11 @@
   with mobility (periodic IP change, task re-init, fresh peer ID) the
   incentive mechanism is neutralised and both mobility curves sit low and
   close together.
+
+Each figure is a registered :class:`~repro.runner.registry.Scenario`
+whose cells are single seeded swarm simulations, so the runner can
+parallelise and cache them; the ``fig3a``/``fig3b``/``fig3c`` functions
+are the serial front doors.
 """
 
 from __future__ import annotations
@@ -17,9 +22,10 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
-from ..analysis import ExperimentResult, Series, average_runs
+from ..analysis import ExperimentResult, Series, average_runs, summarize
 from ..bittorrent import ClientConfig
 from ..bittorrent.swarm import SwarmScenario
+from ..runner import Scenario, collect, run_scenario, scenario
 from .base import random_piece_subset
 
 UPLOAD_FRACTIONS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
@@ -89,30 +95,96 @@ def _incentive_swarm(
     return (x.client.downloaded.total - base) / duration
 
 
-def _upload_sweep(
-    wireless: bool,
-    fractions: Sequence[float],
-    reference_rate: float,
-    channel_rate: float,
-    runs: int,
-    duration: float,
-    base_seed: int,
-) -> Series:
-    label = "Wireless" if wireless else "Wired"
-    ys: List[float] = []
-    for frac in fractions:
-        values = [
-            _incentive_swarm(
-                base_seed + r,
-                wireless,
-                upload_limit=frac * reference_rate,
-                duration=duration,
-                channel_rate=channel_rate,
-            )
-            for r in range(runs)
-        ]
-        ys.append(sum(values) / len(values) / 1000.0)  # KB/s
-    return Series(label, [100 * f for f in fractions], ys)
+class _UploadSweepScenario(Scenario):
+    """Shared machinery for the fig3a/fig3b upload-cap sweeps."""
+
+    wireless = False
+    figure = ""
+    title = ""
+    x_label = ""
+    paper_expectation = ""
+
+    def cells(self, p):
+        for frac in p["fractions"]:
+            for r in range(p["runs"]):
+                yield (frac,), p["base_seed"] + r
+
+    def run_cell(self, key, seed, p):
+        (frac,) = key
+        return _incentive_swarm(
+            seed,
+            self.wireless,
+            upload_limit=frac * p["reference_rate"],
+            duration=p["duration"],
+            channel_rate=p["channel_rate"],
+        )
+
+    def assemble(self, p, values, failures):
+        label = "Wireless" if self.wireless else "Wired"
+        ys: List[float] = []
+        errs: List[float] = []
+        for frac in p["fractions"]:
+            vals = collect(values, (frac,))
+            ys.append(sum(vals) / len(vals) / 1000.0)  # KB/s
+            errs.append(summarize([v / 1000.0 for v in vals]).ci95)
+        series = Series(label, [100 * f for f in p["fractions"]], ys, y_err=errs)
+        parameters = {"runs": p["runs"], "duration_s": p["duration"]}
+        if self.wireless:
+            parameters["channel_Bps"] = p["channel_rate"]
+        return ExperimentResult(
+            figure=self.figure,
+            title=self.title,
+            x_label=self.x_label,
+            y_label="Download throughput (KB/s)",
+            series=[series],
+            paper_expectation=self.paper_expectation,
+            parameters=parameters,
+        )
+
+
+@scenario
+class Fig3A(_UploadSweepScenario):
+    """Download rate vs upload cap on a wired (cable) access link."""
+
+    name = "fig3a"
+    description = "Figure 3(a): download vs upload cap on a wired access link"
+    wireless = False
+    figure = "Figure 3(a)"
+    title = "Impact of upload cap on downloads: wired"
+    x_label = "Upload limit (% of uplink capacity)"
+    paper_expectation = "download rate is an increasing function of the upload cap"
+    defaults = {
+        "fractions": list(UPLOAD_FRACTIONS),
+        "runs": 3,
+        "duration": 60.0,
+        "base_seed": 300,
+        "reference_rate": 48_000.0,  # 384 Kbps cable uplink
+        "channel_rate": 0.0,
+    }
+
+
+@scenario
+class Fig3B(_UploadSweepScenario):
+    """Download rate vs upload cap behind a shared wireless channel."""
+
+    name = "fig3b"
+    description = "Figure 3(b): download vs upload cap behind a shared wireless cell"
+    wireless = True
+    figure = "Figure 3(b)"
+    title = "Impact of upload cap on downloads: wireless"
+    x_label = "Upload limit (% of channel capacity)"
+    paper_expectation = (
+        "rises with the cap initially, peaks well below the wired case's "
+        "80–90%, then falls as uploads contend for the shared channel"
+    )
+    defaults = {
+        "fractions": list(UPLOAD_FRACTIONS),
+        "runs": 3,
+        "duration": 60.0,
+        "base_seed": 400,
+        "reference_rate": 100_000.0,
+        "channel_rate": 100_000.0,
+    }
 
 
 def fig3a(
@@ -122,24 +194,10 @@ def fig3a(
     base_seed: int = 300,
 ) -> ExperimentResult:
     """Download rate vs upload cap on a wired (cable) access link."""
-    series = _upload_sweep(
-        wireless=False,
-        fractions=fractions,
-        reference_rate=48_000.0,  # 384 Kbps cable uplink
-        channel_rate=0.0,
-        runs=runs,
-        duration=duration,
-        base_seed=base_seed,
-    )
-    return ExperimentResult(
-        figure="Figure 3(a)",
-        title="Impact of upload cap on downloads: wired",
-        x_label="Upload limit (% of uplink capacity)",
-        y_label="Download throughput (KB/s)",
-        series=[series],
-        paper_expectation="download rate is an increasing function of the upload cap",
-        parameters={"runs": runs, "duration_s": duration},
-    )
+    return run_scenario("fig3a", {
+        "fractions": list(fractions), "runs": runs,
+        "duration": duration, "base_seed": base_seed,
+    })
 
 
 def fig3b(
@@ -150,27 +208,84 @@ def fig3b(
     base_seed: int = 400,
 ) -> ExperimentResult:
     """Download rate vs upload cap behind a shared wireless channel."""
-    series = _upload_sweep(
-        wireless=True,
-        fractions=fractions,
-        reference_rate=channel_rate,
-        channel_rate=channel_rate,
-        runs=runs,
-        duration=duration,
-        base_seed=base_seed,
+    return run_scenario("fig3b", {
+        "fractions": list(fractions), "runs": runs, "duration": duration,
+        "base_seed": base_seed, "reference_rate": channel_rate,
+        "channel_rate": channel_rate,
+    })
+
+
+FIG3C_CASES: Tuple[Tuple[str, bool, float], ...] = (
+    ("No mobility, uploading", False, 60_000.0),
+    ("No mobility, no uploading", False, 0.0),
+    ("Mobility, uploading", True, 60_000.0),
+    ("Mobility, no uploading", True, 0.0),
+)
+
+
+@scenario
+class Fig3C(Scenario):
+    """Downloaded size vs time: {mobility, none} x {uploading, none}."""
+
+    name = "fig3c"
+    description = (
+        "Figure 3(c): download progress under incentives x mobility"
     )
-    return ExperimentResult(
-        figure="Figure 3(b)",
-        title="Impact of upload cap on downloads: wireless",
-        x_label="Upload limit (% of channel capacity)",
-        y_label="Download throughput (KB/s)",
-        series=[series],
-        paper_expectation=(
-            "rises with the cap initially, peaks well below the wired case's "
-            "80–90%, then falls as uploads contend for the shared channel"
-        ),
-        parameters={"runs": runs, "duration_s": duration, "channel_Bps": channel_rate},
-    )
+    defaults = {
+        "duration": 420.0,
+        "handoff_interval": 60.0,
+        "sample_step": 20.0,
+        "runs": 2,
+        "base_seed": 500,
+        "file_mb": 32.0,
+    }
+
+    @staticmethod
+    def _grid(p) -> List[float]:
+        return [
+            p["sample_step"] * i
+            for i in range(int(p["duration"] / p["sample_step"]) + 1)
+        ]
+
+    def cells(self, p):
+        for label, _, _ in FIG3C_CASES:
+            for r in range(p["runs"]):
+                yield (label,), p["base_seed"] + r
+
+    def run_cell(self, key, seed, p):
+        (label,) = key
+        mobile, upload_limit = next(
+            (m, u) for case_label, m, u in FIG3C_CASES if case_label == label
+        )
+        return _fig3c_run(
+            seed, mobile, upload_limit, p["duration"], self._grid(p),
+            p["handoff_interval"], p["file_mb"],
+        )
+
+    def assemble(self, p, values, failures):
+        grid = self._grid(p)
+        series: List[Series] = []
+        for label, _, _ in FIG3C_CASES:
+            curves = collect(values, (label,))
+            series.append(Series(label, grid, average_runs(curves)))
+        return ExperimentResult(
+            figure="Figure 3(c)",
+            title="Impact of incentives and mobility on download progress",
+            x_label="Time (s)",
+            y_label="Downloaded size (MB)",
+            series=series,
+            paper_expectation=(
+                "without mobility, uploading clearly beats not uploading; with "
+                "mobility both curves drop below the no-mobility ones and the "
+                "upload advantage becomes marginal (incentives neutralised)"
+            ),
+            parameters={
+                "runs": p["runs"],
+                "duration_s": p["duration"],
+                "handoff_interval_s": p["handoff_interval"],
+                "file_mb": p["file_mb"],
+            },
+        )
 
 
 def fig3c(
@@ -190,41 +305,11 @@ def fig3c(
     # "Uploading" is capped at the competitors' class of rate (60 KB/s):
     # the effect under test is reciprocation, not the §3.3 self-contention
     # of an unbounded upload on the mobile host's own channel.
-    cases = [
-        ("No mobility, uploading", False, 60_000.0),
-        ("No mobility, no uploading", False, 0.0),
-        ("Mobility, uploading", True, 60_000.0),
-        ("Mobility, no uploading", True, 0.0),
-    ]
-    grid = [sample_step * i for i in range(int(duration / sample_step) + 1)]
-    series: List[Series] = []
-    for label, mobile, upload_limit in cases:
-        runs_curves: List[List[float]] = []
-        for r in range(runs):
-            curve = _fig3c_run(
-                base_seed + r, mobile, upload_limit, duration, grid,
-                handoff_interval, file_mb,
-            )
-            runs_curves.append(curve)
-        series.append(Series(label, grid, average_runs(runs_curves)))
-    return ExperimentResult(
-        figure="Figure 3(c)",
-        title="Impact of incentives and mobility on download progress",
-        x_label="Time (s)",
-        y_label="Downloaded size (MB)",
-        series=series,
-        paper_expectation=(
-            "without mobility, uploading clearly beats not uploading; with "
-            "mobility both curves drop below the no-mobility ones and the "
-            "upload advantage becomes marginal (incentives neutralised)"
-        ),
-        parameters={
-            "runs": runs,
-            "duration_s": duration,
-            "handoff_interval_s": handoff_interval,
-            "file_mb": file_mb,
-        },
-    )
+    return run_scenario("fig3c", {
+        "duration": duration, "handoff_interval": handoff_interval,
+        "sample_step": sample_step, "runs": runs,
+        "base_seed": base_seed, "file_mb": file_mb,
+    })
 
 
 def _fig3c_run(

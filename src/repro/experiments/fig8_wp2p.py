@@ -10,15 +10,20 @@
 * ``fig8c``: download throughput vs wireless channel bandwidth with LIHD
   (α = β = 10 KB/s) vs the default client's uncapped uploads.  Paper:
   wP2P wins increasingly with bandwidth, up to ≈ 70 %.
+
+Each figure is a registered scenario; ``fig8a``/``fig8b``/``fig8c``
+remain as serial front doors over the runner.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import random as _random
+from typing import List, Sequence, Tuple
 
-from ..analysis import ExperimentResult, Series, average_runs
-from ..bittorrent import BitTorrentClient, ClientConfig
+from ..analysis import ExperimentResult, Series, average_runs, summarize
+from ..bittorrent import ClientConfig
 from ..bittorrent.swarm import SwarmScenario
+from ..runner import Scenario, collect, run_scenario, scenario
 from ..wp2p import WP2PClient, WP2PConfig
 from .base import random_piece_subset
 
@@ -86,6 +91,51 @@ def _fig8a_run(seed: int, ber: float, duration: float) -> Tuple[float, float]:
     )
 
 
+@scenario
+class Fig8A(Scenario):
+    """AM vs default: download throughput across BER (Figure 8(a))."""
+
+    name = "fig8a"
+    description = "Figure 8(a): age-based manipulation vs default over BER"
+    defaults = {
+        "bers": list(AM_BERS),
+        "runs": 5,
+        "duration": 60.0,
+        "base_seed": 800,
+    }
+
+    def cells(self, p):
+        for ber in p["bers"]:
+            for r in range(p["runs"]):
+                yield (ber,), p["base_seed"] + r
+
+    def run_cell(self, key, seed, p):
+        # One swarm produces both clients' rates: the A/B pair shares its
+        # environment noise by construction.
+        default_rate, wp2p_rate = _fig8a_run(seed, key[0], p["duration"])
+        return {"default": default_rate, "wp2p": wp2p_rate}
+
+    def assemble(self, p, values, failures):
+        def sweep(which: str, label: str) -> Series:
+            ys: List[float] = []
+            errs: List[float] = []
+            for ber in p["bers"]:
+                vals = [pair[which] for pair in collect(values, (ber,))]
+                ys.append(sum(vals) / len(vals) / 1000.0)
+                errs.append(summarize([v / 1000.0 for v in vals]).ci95)
+            return Series(label, list(p["bers"]), ys, y_err=errs)
+
+        return ExperimentResult(
+            figure="Figure 8(a)",
+            title="Age-based manipulation under random wireless losses",
+            x_label="Bit error rate",
+            y_label="Throughput (KB/s)",
+            series=[sweep("default", "Default P2P"), sweep("wp2p", "wP2P")],
+            paper_expectation="wP2P outperforms the default client at all BERs (~20%)",
+            parameters={"runs": p["runs"], "duration_s": p["duration"]},
+        )
+
+
 def fig8a(
     bers: Sequence[float] = AM_BERS,
     runs: int = 5,
@@ -93,24 +143,10 @@ def fig8a(
     base_seed: int = 800,
 ) -> ExperimentResult:
     """AM vs default: download throughput across BER (Figure 8(a))."""
-    default_ys: List[float] = []
-    wp2p_ys: List[float] = []
-    for ber in bers:
-        pairs = [_fig8a_run(base_seed + r, ber, duration) for r in range(runs)]
-        default_ys.append(sum(p[0] for p in pairs) / runs / 1000.0)
-        wp2p_ys.append(sum(p[1] for p in pairs) / runs / 1000.0)
-    return ExperimentResult(
-        figure="Figure 8(a)",
-        title="Age-based manipulation under random wireless losses",
-        x_label="Bit error rate",
-        y_label="Throughput (KB/s)",
-        series=[
-            Series("Default P2P", list(bers), default_ys),
-            Series("wP2P", list(bers), wp2p_ys),
-        ],
-        paper_expectation="wP2P outperforms the default client at all BERs (~20%)",
-        parameters={"runs": runs, "duration_s": duration},
-    )
+    return run_scenario("fig8a", {
+        "bers": list(bers), "runs": runs,
+        "duration": duration, "base_seed": base_seed,
+    })
 
 
 def _fig8b_swarm(seed: int, handoff_interval: float):
@@ -142,6 +178,65 @@ def _fig8b_swarm(seed: int, handoff_interval: float):
     return sc, default, wp2p
 
 
+@scenario
+class Fig8B(Scenario):
+    """Identity retention under periodic IP changes (Figure 8(b))."""
+
+    name = "fig8b"
+    description = "Figure 8(b): identity retention vs restarts under mobility"
+    defaults = {
+        "duration": 300.0,
+        "handoff_interval": 60.0,
+        "sample_step": 20.0,
+        "runs": 2,
+        "base_seed": 850,
+    }
+
+    @staticmethod
+    def _grid(p) -> List[float]:
+        return [
+            p["sample_step"] * i
+            for i in range(int(p["duration"] / p["sample_step"]) + 1)
+        ]
+
+    def cells(self, p):
+        for r in range(p["runs"]):
+            yield ("run",), p["base_seed"] + r
+
+    def run_cell(self, key, seed, p):
+        grid = self._grid(p)
+        sc, default, wp2p = _fig8b_swarm(seed, p["handoff_interval"])
+        sc.start_all()
+        sc.run(until=p["duration"])
+        return {
+            "default": [default.client.downloaded.value_at(t) / 1e6 for t in grid],
+            "wp2p": [wp2p.client.downloaded.value_at(t) / 1e6 for t in grid],
+        }
+
+    def assemble(self, p, values, failures):
+        grid = self._grid(p)
+        pairs = collect(values, ("run",))
+        return ExperimentResult(
+            figure="Figure 8(b)",
+            title="Identity retention: download progress under mobility",
+            x_label="Downloading time (s)",
+            y_label="Downloaded size (MB)",
+            series=[
+                Series("Default P2P", grid, average_runs([pair["default"] for pair in pairs])),
+                Series("wP2P", grid, average_runs([pair["wp2p"] for pair in pairs])),
+            ],
+            paper_expectation=(
+                "wP2P's curve grows faster throughout; the default client is "
+                "reset to newcomer service after every IP change"
+            ),
+            parameters={
+                "runs": p["runs"],
+                "duration_s": p["duration"],
+                "handoff_interval_s": p["handoff_interval"],
+            },
+        )
+
+
 def fig8b(
     duration: float = 300.0,
     handoff_interval: float = 60.0,
@@ -150,43 +245,16 @@ def fig8b(
     base_seed: int = 850,
 ) -> ExperimentResult:
     """Identity retention under periodic IP changes (Figure 8(b))."""
-    grid = [sample_step * i for i in range(int(duration / sample_step) + 1)]
-    default_runs: List[List[float]] = []
-    wp2p_runs: List[List[float]] = []
-    for r in range(runs):
-        sc, default, wp2p = _fig8b_swarm(base_seed + r, handoff_interval)
-        sc.start_all()
-        sc.run(until=duration)
-        default_runs.append(
-            [default.client.downloaded.value_at(t) / 1e6 for t in grid]
-        )
-        wp2p_runs.append([wp2p.client.downloaded.value_at(t) / 1e6 for t in grid])
-    return ExperimentResult(
-        figure="Figure 8(b)",
-        title="Identity retention: download progress under mobility",
-        x_label="Downloading time (s)",
-        y_label="Downloaded size (MB)",
-        series=[
-            Series("Default P2P", grid, average_runs(default_runs)),
-            Series("wP2P", grid, average_runs(wp2p_runs)),
-        ],
-        paper_expectation=(
-            "wP2P's curve grows faster throughout; the default client is "
-            "reset to newcomer service after every IP change"
-        ),
-        parameters={
-            "runs": runs,
-            "duration_s": duration,
-            "handoff_interval_s": handoff_interval,
-        },
-    )
+    return run_scenario("fig8b", {
+        "duration": duration, "handoff_interval": handoff_interval,
+        "sample_step": sample_step, "runs": runs, "base_seed": base_seed,
+    })
 
 
 def _fig8c_run(seed: int, bandwidth: float, use_lihd: bool, duration: float) -> float:
     """One run: the mobile leech's download rate (bytes/s)."""
     sc = SwarmScenario(seed=seed, file_size=8 * 1024 * 1024, piece_length=65_536)
     n = sc.torrent.num_pieces
-    import random as _random
 
     rng = _random.Random(seed * 31 + 7)
     # Remote capacities comfortably exceed the swept channel rates, so the
@@ -231,6 +299,54 @@ def _fig8c_run(seed: int, bandwidth: float, use_lihd: bool, duration: float) -> 
     return (x.client.downloaded.total - base) / duration
 
 
+@scenario
+class Fig8C(Scenario):
+    """LIHD upload-rate control vs uncapped default (Figure 8(c))."""
+
+    name = "fig8c"
+    description = "Figure 8(c): LIHD upload adaptation vs channel bandwidth"
+    defaults = {
+        "bandwidths": [50_000.0, 100_000.0, 150_000.0, 200_000.0],
+        "runs": 3,
+        "duration": 60.0,
+        "base_seed": 900,
+    }
+
+    def cells(self, p):
+        for variant in ("default", "lihd"):
+            for bw in p["bandwidths"]:
+                for r in range(p["runs"]):
+                    yield (variant, bw), p["base_seed"] + r
+
+    def run_cell(self, key, seed, p):
+        variant, bw = key
+        return _fig8c_run(seed, bw, use_lihd=(variant == "lihd"), duration=p["duration"])
+
+    def assemble(self, p, values, failures):
+        def sweep(variant: str, label: str) -> Series:
+            ys: List[float] = []
+            errs: List[float] = []
+            for bw in p["bandwidths"]:
+                vals = collect(values, (variant, bw))
+                ys.append(sum(vals) / len(vals) / 1000.0)
+                errs.append(summarize([v / 1000.0 for v in vals]).ci95)
+            return Series(label, [bw / 1000 for bw in p["bandwidths"]], ys, y_err=errs)
+
+        return ExperimentResult(
+            figure="Figure 8(c)",
+            title="LIHD upload-rate adaptation vs physical wireless bandwidth",
+            x_label="Physical wireless bandwidth (KB/s)",
+            y_label="Downloading throughput (KB/s)",
+            series=[sweep("default", "Default P2P"), sweep("lihd", "wP2P")],
+            paper_expectation=(
+                "both rise with bandwidth initially; beyond a point the default "
+                "client loses throughput to upload self-contention while wP2P "
+                "keeps gaining (up to ~70% better at 200 KB/s)"
+            ),
+            parameters={"runs": p["runs"], "duration_s": p["duration"]},
+        )
+
+
 def fig8c(
     bandwidths: Sequence[float] = (50_000.0, 100_000.0, 150_000.0, 200_000.0),
     runs: int = 3,
@@ -238,32 +354,7 @@ def fig8c(
     base_seed: int = 900,
 ) -> ExperimentResult:
     """LIHD upload-rate control vs uncapped default (Figure 8(c))."""
-    default_ys: List[float] = []
-    wp2p_ys: List[float] = []
-    for bw in bandwidths:
-        default_vals = [
-            _fig8c_run(base_seed + r, bw, use_lihd=False, duration=duration)
-            for r in range(runs)
-        ]
-        wp2p_vals = [
-            _fig8c_run(base_seed + r, bw, use_lihd=True, duration=duration)
-            for r in range(runs)
-        ]
-        default_ys.append(sum(default_vals) / runs / 1000.0)
-        wp2p_ys.append(sum(wp2p_vals) / runs / 1000.0)
-    return ExperimentResult(
-        figure="Figure 8(c)",
-        title="LIHD upload-rate adaptation vs physical wireless bandwidth",
-        x_label="Physical wireless bandwidth (KB/s)",
-        y_label="Downloading throughput (KB/s)",
-        series=[
-            Series("Default P2P", [b / 1000 for b in bandwidths], default_ys),
-            Series("wP2P", [b / 1000 for b in bandwidths], wp2p_ys),
-        ],
-        paper_expectation=(
-            "both rise with bandwidth initially; beyond a point the default "
-            "client loses throughput to upload self-contention while wP2P "
-            "keeps gaining (up to ~70% better at 200 KB/s)"
-        ),
-        parameters={"runs": runs, "duration_s": duration},
-    )
+    return run_scenario("fig8c", {
+        "bandwidths": list(bandwidths), "runs": runs,
+        "duration": duration, "base_seed": base_seed,
+    })

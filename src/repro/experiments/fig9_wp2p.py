@@ -7,16 +7,20 @@
 * ``fig9c``: uploading throughput of two mobile seeds as their IP-change
   interval shrinks — role reversal (immediate re-initiation toward
   remembered peers) against the default client's task re-initiation.
+
+Both figures are registered scenarios (``fig9ab``, ``fig9c``); the
+functions of the same name remain as serial front doors.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..analysis import ExperimentResult, Series
 from ..bittorrent import ClientConfig, RarestFirstSelector
 from ..bittorrent.swarm import SwarmScenario
 from ..media import average_curves
+from ..runner import Scenario, collect, run_scenario, scenario
 from ..wp2p import WP2PClient, WP2PConfig
 from .fig4_mobility import GRID, playability_run
 
@@ -52,6 +56,65 @@ def _mf_factory(sim, host, torrent, **kwargs):
     return WP2PClient(sim, host, torrent, **kwargs)
 
 
+@scenario
+class Fig9AB(Scenario):
+    """Mobility-aware fetching vs rarest-first playability (Figure 9(a, b))."""
+
+    name = "fig9ab"
+    description = (
+        "Figure 9(a, b): mobility-aware fetching vs rarest-first playability"
+    )
+    defaults = {
+        "num_pieces": 20,
+        "runs": 10,
+        "base_seed": 950,
+        "grid": GRID,
+    }
+
+    def cells(self, p):
+        for variant in ("default", "wp2p"):
+            for r in range(p["runs"]):
+                yield (variant,), p["base_seed"] + r
+
+    def run_cell(self, key, seed, p):
+        if key[0] == "wp2p":
+            curve = playability_run(seed, p["num_pieces"], client_factory=_mf_factory)
+        else:
+            curve = playability_run(
+                seed, p["num_pieces"], selector=RarestFirstSelector()
+            )
+        return [[d, play] for d, play in curve]
+
+    def assemble(self, p, values, failures):
+        num_pieces = p["num_pieces"]
+
+        def averaged(variant: str):
+            curves = [
+                [(d, play) for d, play in curve]
+                for curve in collect(values, (variant,))
+            ]
+            return average_curves(curves, p["grid"])
+
+        default_avg = averaged("default")
+        wp2p_avg = averaged("wp2p")
+        figure = "Figure 9(a)" if num_pieces == 20 else "Figure 9(b)"
+        return ExperimentResult(
+            figure=figure,
+            title=f"Mobility-aware fetching playability ({num_pieces} pieces)",
+            x_label="Downloaded percentage (%)",
+            y_label="Playable percentage (%)",
+            series=[
+                Series("Default P2P", [g for g, _ in default_avg], [p for _, p in default_avg]),
+                Series("wP2P", [g for g, _ in wp2p_avg], [p for _, p in wp2p_avg]),
+            ],
+            paper_expectation=(
+                "wP2P keeps a large in-sequence playable prefix throughout "
+                "(e.g. ~30% playable at 50% downloaded for 5 MB vs ~5% default)"
+            ),
+            parameters={"num_pieces": num_pieces, "runs": p["runs"]},
+        )
+
+
 def fig9ab(
     num_pieces: int,
     runs: int = 10,
@@ -64,32 +127,10 @@ def fig9ab(
     100 MB file; pr equals the downloaded fraction, as in the paper's
     evaluation.
     """
-    default_curves = [
-        playability_run(base_seed + r, num_pieces, selector=RarestFirstSelector())
-        for r in range(runs)
-    ]
-    wp2p_curves = [
-        playability_run(base_seed + r, num_pieces, client_factory=_mf_factory)
-        for r in range(runs)
-    ]
-    default_avg = average_curves(default_curves, grid)
-    wp2p_avg = average_curves(wp2p_curves, grid)
-    figure = "Figure 9(a)" if num_pieces == 20 else "Figure 9(b)"
-    return ExperimentResult(
-        figure=figure,
-        title=f"Mobility-aware fetching playability ({num_pieces} pieces)",
-        x_label="Downloaded percentage (%)",
-        y_label="Playable percentage (%)",
-        series=[
-            Series("Default P2P", [g for g, _ in default_avg], [p for _, p in default_avg]),
-            Series("wP2P", [g for g, _ in wp2p_avg], [p for _, p in wp2p_avg]),
-        ],
-        paper_expectation=(
-            "wP2P keeps a large in-sequence playable prefix throughout "
-            "(e.g. ~30% playable at 50% downloaded for 5 MB vs ~5% default)"
-        ),
-        parameters={"num_pieces": num_pieces, "runs": runs},
-    )
+    return run_scenario("fig9ab", {
+        "num_pieces": num_pieces, "runs": runs,
+        "base_seed": base_seed, "grid": list(grid),
+    })
 
 
 ROLE_REVERSAL_INTERVALS: Sequence[float] = (180.0, 120.0, 60.0)
@@ -136,6 +177,59 @@ def _fig9c_run(
     return uploaded / duration / 2.0  # per-seed average
 
 
+@scenario
+class Fig9C(Scenario):
+    """Role reversal: mobile-seed upload throughput vs mobility rate."""
+
+    name = "fig9c"
+    description = "Figure 9(c): role reversal vs task re-initiation under mobility"
+    defaults = {
+        "intervals": list(ROLE_REVERSAL_INTERVALS),
+        "runs": 2,
+        "duration": 360.0,
+        "base_seed": 980,
+    }
+
+    def cells(self, p):
+        for variant in ("default", "wp2p"):
+            for interval in p["intervals"]:
+                for r in range(p["runs"]):
+                    yield (variant, interval), p["base_seed"] + r
+
+    def run_cell(self, key, seed, p):
+        variant, interval = key
+        return _fig9c_run(seed, interval, wp2p=(variant == "wp2p"), duration=p["duration"])
+
+    def assemble(self, p, values, failures):
+        runs = p["runs"]
+
+        def sweep(variant: str, label: str) -> Series:
+            ys: List[float] = []
+            for interval in p["intervals"]:
+                vals = collect(values, (variant, interval))
+                ys.append(sum(vals) / runs / 1000.0)
+            return Series(label, list(range(len(p["intervals"]))), ys)
+
+        return ExperimentResult(
+            figure="Figure 9(c)",
+            title="Role reversal: mobile seeds' upload throughput under mobility",
+            x_label="Mobility rate",
+            y_label="Uploading throughput (KB/s)",
+            series=[sweep("default", "Default P2P"), sweep("wp2p", "wP2P")],
+            paper_expectation=(
+                "upload throughput falls with faster mobility for both; wP2P "
+                "stays higher, with the advantage growing as disruptions become "
+                "more frequent (up to ~50%)"
+            ),
+            notes="x axis: " + ", ".join(ROLE_REVERSAL_LABELS) + " (2x time-scaled)",
+            parameters={
+                "intervals_s": list(p["intervals"]),
+                "runs": runs,
+                "duration_s": p["duration"],
+            },
+        )
+
+
 def fig9c(
     intervals: Sequence[float] = ROLE_REVERSAL_INTERVALS,
     runs: int = 2,
@@ -143,34 +237,7 @@ def fig9c(
     base_seed: int = 980,
 ) -> ExperimentResult:
     """Role reversal: mobile-seed upload throughput vs mobility rate."""
-    default_ys: List[float] = []
-    wp2p_ys: List[float] = []
-    for interval in intervals:
-        default_vals = [
-            _fig9c_run(base_seed + r, interval, wp2p=False, duration=duration)
-            for r in range(runs)
-        ]
-        wp2p_vals = [
-            _fig9c_run(base_seed + r, interval, wp2p=True, duration=duration)
-            for r in range(runs)
-        ]
-        default_ys.append(sum(default_vals) / runs / 1000.0)
-        wp2p_ys.append(sum(wp2p_vals) / runs / 1000.0)
-    xs = list(range(len(intervals)))
-    return ExperimentResult(
-        figure="Figure 9(c)",
-        title="Role reversal: mobile seeds' upload throughput under mobility",
-        x_label="Mobility rate",
-        y_label="Uploading throughput (KB/s)",
-        series=[
-            Series("Default P2P", xs, default_ys),
-            Series("wP2P", xs, wp2p_ys),
-        ],
-        paper_expectation=(
-            "upload throughput falls with faster mobility for both; wP2P "
-            "stays higher, with the advantage growing as disruptions become "
-            "more frequent (up to ~50%)"
-        ),
-        notes="x axis: " + ", ".join(ROLE_REVERSAL_LABELS) + " (2x time-scaled)",
-        parameters={"intervals_s": list(intervals), "runs": runs, "duration_s": duration},
-    )
+    return run_scenario("fig9c", {
+        "intervals": list(intervals), "runs": runs,
+        "duration": duration, "base_seed": base_seed,
+    })

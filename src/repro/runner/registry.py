@@ -1,0 +1,167 @@
+"""The scenario base class and the ``@scenario`` registry.
+
+A *scenario* is one declarative experiment: a name, a description, a
+defaults mapping, and three methods —
+
+* :meth:`Scenario.cells` enumerates the independent simulation cells
+  (``(key, seed)`` pairs) the experiment consists of;
+* :meth:`Scenario.run_cell` runs exactly one cell (one seeded
+  simulation) and returns a plain-data value;
+* :meth:`Scenario.assemble` folds the per-cell values back into an
+  :class:`~repro.analysis.series.ExperimentResult`.
+
+Because every cell is self-contained (the sim kernel's ``RngRegistry``
+derives all randomness from the cell's seed), the
+:class:`~repro.runner.runner.Runner` can execute cells in any order, on
+any number of worker processes, or serve them from cache — the assembled
+result is identical.
+
+``@scenario`` registers a :class:`Scenario` subclass under its ``name``;
+``repro.experiments`` registers one scenario per paper figure at import
+time, so ``import repro.experiments`` populates the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Type
+
+from .spec import ScenarioSpec, freeze_params
+
+CellKey = Tuple[object, ...]
+Cell = Tuple[CellKey, int]
+CellValues = Dict[Cell, object]
+
+
+class UnknownScenarioError(KeyError):
+    """Raised for a scenario name absent from the registry."""
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        known_names = ", ".join(sorted(known)) or "<none registered>"
+        super().__init__(
+            f"unknown scenario {name!r}; known scenarios: {known_names}"
+        )
+        self.name = name
+
+
+class Scenario:
+    """Base class for declarative experiments (see module docstring).
+
+    Subclasses set :attr:`name`, :attr:`description`, and
+    :attr:`defaults`, then implement :meth:`cells`, :meth:`run_cell`,
+    and :meth:`assemble`.  Parameter overrides are validated against the
+    defaults, so a typo'd key fails fast instead of silently running the
+    default campaign.
+    """
+
+    name: str = ""
+    description: str = ""
+    defaults: Mapping[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Parameters and spec construction
+    # ------------------------------------------------------------------
+    def params(self, overrides: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
+        """Defaults merged with ``overrides``, canonicalised to JSON types."""
+        merged = dict(self.defaults)
+        if overrides:
+            unknown = sorted(set(overrides) - set(merged))
+            if unknown:
+                raise ValueError(
+                    f"unknown parameter(s) {unknown} for scenario "
+                    f"{self.name!r}; accepted: {sorted(merged)}"
+                )
+            merged.update(overrides)
+        return freeze_params(merged)
+
+    def spec(self, overrides: Optional[Mapping[str, object]] = None) -> ScenarioSpec:
+        """A :class:`ScenarioSpec` for this scenario at the given params."""
+        params = self.params(overrides)
+        seeds = sorted({seed for _, seed in self.cells(params)})
+        return ScenarioSpec.create(
+            self.name, params, seeds=seeds, description=self.description
+        )
+
+    # ------------------------------------------------------------------
+    # The three hooks every scenario implements
+    # ------------------------------------------------------------------
+    def cells(self, params: Mapping[str, object]) -> Iterator[Cell]:
+        """Yield every independent ``(key, seed)`` cell of the campaign."""
+        raise NotImplementedError
+
+    def run_cell(self, key: CellKey, seed: int, params: Mapping[str, object]) -> object:
+        """Run one cell (one seeded simulation); return plain data."""
+        raise NotImplementedError
+
+    def assemble(
+        self,
+        params: Mapping[str, object],
+        values: CellValues,
+        failures: List["CellFailureLike"],
+    ):
+        """Fold per-cell values into an ``ExperimentResult``.
+
+        ``values`` maps ``(key, seed)`` to the cell's value; cells that
+        failed (after retry) are absent and listed in ``failures``, so
+        implementations aggregate over whatever survived.
+        """
+        raise NotImplementedError
+
+
+class CellFailureLike:
+    """Protocol stand-in: anything with ``key``/``seed``/``error``."""
+
+    key: CellKey
+    seed: int
+    error: str
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def scenario(cls: Type[Scenario]) -> Type[Scenario]:
+    """Class decorator: instantiate and register a :class:`Scenario`.
+
+    >>> @scenario
+    ... class Demo(Scenario):
+    ...     name = "demo"
+    ...     ...
+
+    Re-registering a name raises — two experiments silently shadowing
+    each other is exactly the failure mode a registry exists to prevent.
+    (Re-evaluating the *same* class, e.g. via ``importlib.reload``, is
+    allowed.)
+    """
+    instance = cls()
+    if not instance.name:
+        raise ValueError(f"scenario class {cls.__name__} must set a name")
+    existing = _REGISTRY.get(instance.name)
+    if existing is not None and type(existing).__qualname__ != cls.__qualname__:
+        raise ValueError(f"scenario {instance.name!r} is already registered")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario called ``name``.
+
+    Raises :class:`UnknownScenarioError` (listing known names) otherwise.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name, _REGISTRY) from None
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def collect(values: CellValues, key: CellKey) -> List[object]:
+    """Values of every surviving cell with ``key``, in ascending seed order.
+
+    The deterministic aggregation primitive: results arrive from workers
+    in completion order, but assembly must not depend on it.
+    """
+    matching = [(seed, value) for (k, seed), value in values.items() if k == key]
+    return [value for _, value in sorted(matching, key=lambda item: item[0])]

@@ -1,20 +1,89 @@
-"""Tests for the experiment CLI (python -m repro.experiments)."""
+"""Tests for the experiment CLI (python -m repro.experiments).
+
+Covers the new registry-backed subcommands (``list``, ``run``) and the
+legacy spellings (``fig2a``, ``all``, ``--num-pieces``, ``--chart``,
+``--trace``) that must keep working verbatim.
+"""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.experiments.__main__ import PIECEWISE, SIMPLE, main, run_one
+from repro.experiments.__main__ import ALL_ORDER, main, run_one
+from repro.runner import scenario_names
+
+FIGURES = {
+    "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
+    "fig4bc", "fig8a", "fig8b", "fig8c", "fig9ab", "fig9c",
+}
 
 
-class TestCli:
-    def test_registry_covers_every_figure(self):
-        names = set(SIMPLE) | set(PIECEWISE)
-        assert names == {
-            "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
-            "fig4bc", "fig8a", "fig8b", "fig8c", "fig9ab", "fig9c",
+class TestListCommand:
+    def test_list_prints_every_figure(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_list_json(self, capsys):
+        main(["list", "--json"])
+        entries = json.loads(capsys.readouterr().out)
+        by_name = {e["name"]: e for e in entries}
+        assert FIGURES <= set(by_name)
+        assert by_name["fig2a"]["defaults"]["runs"] == 5
+        assert by_name["fig2a"]["description"]
+
+    def test_all_order_covers_the_registry(self):
+        assert set(ALL_ORDER) == FIGURES == set(n for n in scenario_names()
+                                                if n.startswith("fig"))
+
+
+class TestRunCommand:
+    def test_run_prints_table_and_stats(self, capsys):
+        main(["run", "fig2bc", "--no-cache", "--quiet"])
+        out = capsys.readouterr().out
+        assert "Figure 2(b, c)" in out
+        assert "paper:" in out
+        assert "2 executed" in out
+
+    def test_run_json_output(self, capsys):
+        main(["run", "fig2bc", "--no-cache", "--quiet", "--json",
+              "--set", "duration=5.0"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "fig2bc"
+        assert payload["figure"] == "Figure 2(b, c)"
+        assert payload["stats"]["executed"] == 2
+        assert payload["failures"] == []
+        assert len(payload["spec_hash"]) == 64
+        assert {s["label"] for s in payload["series"]} == {
+            "Uni-directional", "Bi-directional",
         }
 
+    def test_run_uses_and_fills_the_cache(self, capsys, tmp_path):
+        argv = ["run", "fig2bc", "--quiet", "--cache-dir", str(tmp_path),
+                "--set", "duration=5.0"]
+        main(argv)
+        capsys.readouterr()
+        main(argv)  # warm: zero simulations
+        out = capsys.readouterr().out
+        assert "0 executed, 2 cache hits" in out
+
+    def test_run_jobs_parallel(self, capsys):
+        main(["run", "fig2bc", "--no-cache", "--quiet", "--jobs", "2"])
+        assert "Figure 2(b, c)" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99", "--no-cache", "--quiet"])
+
+    def test_bad_set_syntax_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2bc", "--no-cache", "--quiet", "--set", "duration"])
+
+
+class TestLegacySpellings:
     def test_run_one_prints_table(self, capsys):
         run_one("fig2bc", num_pieces=20)
         out = capsys.readouterr().out
@@ -30,7 +99,7 @@ class TestCli:
         with pytest.raises(SystemExit):
             run_one("fig99", num_pieces=20)
 
-    def test_main_parses_args(self, capsys):
+    def test_main_parses_bare_figure(self, capsys):
         main(["fig2bc"])
         out = capsys.readouterr().out
         assert "Figure 2(b, c)" in out
@@ -39,3 +108,21 @@ class TestCli:
         main(["fig4bc", "--num-pieces", "10"])
         out = capsys.readouterr().out
         assert "Playable" in out
+
+    def test_legacy_trace_writes_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        main(["fig2bc", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert "Figure 2(b, c)" in out
+        assert f"[trace written to {trace}]" in out
+        lines = trace.read_text().strip().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+
+    def test_trace_with_run_command_degrades_to_serial(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        main(["run", "fig2bc", "--no-cache", "--jobs", "4",
+              "--set", "duration=5.0", "--trace", str(trace)])
+        captured = capsys.readouterr()
+        assert "Figure 2(b, c)" in captured.out
+        assert "running serially" in captured.err
+        assert trace.read_text().strip()
