@@ -1,0 +1,128 @@
+"""repro.audit — runtime cross-layer invariant auditing.
+
+The correctness analogue of :mod:`repro.obs`: where tracing *records*
+what a simulation did, auditing *asserts* what must always hold while it
+does it — byte conservation through every queue and link, token buckets
+within ``[0, burst]``, a time-monotonic event queue, mutually consistent
+piece/bitfield/ledger state, and legal wP2P state-machine transitions.
+See :mod:`repro.audit.checkers` for the full catalogue of laws.
+
+Two ways to use it:
+
+Explicitly, on one simulator (attach **before** building the topology,
+because components register themselves at construction)::
+
+    from repro.audit import Auditor
+
+    sim = Simulator(seed=1)
+    auditor = Auditor().attach(sim)
+    ...build and run...
+    auditor.sweep()          # also runs automatically during run()
+
+Globally, for code that builds its simulators internally — the pattern
+the CLI's ``--audit`` flag and the :class:`~repro.runner.Runner` use::
+
+    from repro import audit
+
+    audit.install()          # every new Simulator gets an Auditor
+    try:
+        run_transfer(seed=3, ber=1e-5, bidirectional=True)
+    finally:
+        audit.uninstall()
+
+or equivalently ``with audit.audited(): ...``.  Auditing is **off by
+default** and costs one ``is None`` check per event / per instrumented
+constructor when off.  When on, a failed invariant raises
+:class:`AuditViolation` at the exact simulated moment the inconsistency
+is observed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from .auditor import AuditViolation, Auditor, Violation
+
+__all__ = [
+    "AuditViolation",
+    "Auditor",
+    "Violation",
+    "apply_defaults",
+    "audited",
+    "install",
+    "installed",
+    "uninstall",
+]
+
+
+# ----------------------------------------------------------------------
+# Global defaults: every new Simulator gets its own Auditor.
+# ----------------------------------------------------------------------
+_default_options: Optional[Dict[str, object]] = None
+_auditors: List[Auditor] = []
+
+
+def install(
+    raise_on_violation: bool = True,
+    sweep_interval: int = 256,
+    max_violations: int = 1000,
+) -> None:
+    """Audit every *new* simulator until :func:`uninstall`.
+
+    Each simulator created while installed gets its **own**
+    :class:`Auditor` (invariants are per-run; auditors never outlive
+    their topology).  Already-created simulators are unaffected.
+    """
+    global _default_options
+    _default_options = {
+        "raise_on_violation": raise_on_violation,
+        "sweep_interval": sweep_interval,
+        "max_violations": max_violations,
+    }
+    _auditors.clear()
+
+
+def uninstall() -> None:
+    """Stop auditing new simulators (attached auditors keep working).
+
+    The created-auditor list survives until the next :func:`install`, so
+    ``with audited(...) as auditors:`` blocks can inspect violations
+    after the context exits.
+    """
+    global _default_options
+    _default_options = None
+
+
+def installed() -> bool:
+    """True when new simulators are being audited."""
+    return _default_options is not None
+
+
+def auditors() -> List[Auditor]:
+    """Auditors created for simulators built since :func:`install`."""
+    return list(_auditors)
+
+
+def apply_defaults(sim) -> Optional[Auditor]:
+    """Kernel hook: attach a fresh auditor to ``sim`` when installed."""
+    if _default_options is None:
+        return None
+    auditor = Auditor(**_default_options).attach(sim)
+    _auditors.append(auditor)
+    return auditor
+
+
+@contextmanager
+def audited(**options) -> Iterator[List[Auditor]]:
+    """Audit every simulator created inside the block.
+
+    Yields the (live) list of created auditors, so callers running in
+    collect mode (``raise_on_violation=False``) can inspect
+    ``auditor.violations`` afterwards.
+    """
+    install(**options)
+    try:
+        yield _auditors
+    finally:
+        uninstall()

@@ -154,6 +154,10 @@ class BitTorrentClient:
         self._announce_event = None
         self._restart_event = None
         self.started = False
+
+        audit = sim.audit
+        if audit is not None:
+            audit.register_client(self)
         self.ip_change_policy: IPChangePolicy = default_restart_policy
         host.on_ip_change(self._on_ip_change)
 
@@ -456,6 +460,9 @@ class BitTorrentClient:
     def block_received(self, peer: PeerConnection, piece: Piece) -> None:
         if peer.peer_id is not None:
             self.ledger.credit(peer.peer_id, piece.length)
+        audit = self.sim.audit
+        if audit is not None:
+            audit.note_block_received(self, peer.peer_id, piece.length)
         self.downloaded.add(piece.length)
         if self.config.endgame:
             self._cancel_duplicate_requests(peer, piece)
@@ -510,6 +517,9 @@ class BitTorrentClient:
         )
 
     def note_uploaded(self, peer: PeerConnection, nbytes: int) -> None:
+        audit = self.sim.audit
+        if audit is not None:
+            audit.note_block_sent(self, peer.peer_id, nbytes)
         self.uploaded.add(nbytes)
 
     def set_upload_limit(self, rate: Optional[float]) -> None:

@@ -40,6 +40,16 @@ class PeerLedger:
         """Effective credited rate for ``peer_id`` (bytes/second)."""
         return self._decayed(peer_id) / self.half_life
 
+    def raw_credit(self, peer_id: str) -> float:
+        """Undecayed credit currently stored for ``peer_id`` (0 if unknown).
+
+        This is the upper bound on what the peer can ever have delivered:
+        decay only shrinks the stored value, so ``raw_credit`` can never
+        exceed the true bytes received from that ID.
+        """
+        entry = self._credit.get(peer_id)
+        return entry[0] if entry is not None else 0.0
+
     def forget(self, peer_id: str) -> None:
         self._credit.pop(peer_id, None)
 

@@ -87,18 +87,28 @@ def _resolve_names(figure: str) -> List[str]:
     return [figure]
 
 
-def run_one(name: str, num_pieces: int = 20, chart: bool = False) -> None:
-    """Legacy front door: run one figure serially and print its table."""
+def run_one(
+    name: str, num_pieces: int = 20, chart: bool = False, audit: bool = False
+) -> int:
+    """Legacy front door: run one figure serially and print its table.
+
+    Returns the number of failed cells (always 0 unless auditing turns
+    violations into failures).
+    """
     _resolve_names(name)  # unknown figures exit cleanly, as they always did
     start = time.time()
-    result = run_scenario(name, _overrides_for(name, num_pieces))
-    print(result.table())
+    runner = Runner(jobs=1, audit=audit)
+    run = runner.run(name, _overrides_for(name, num_pieces))
+    print(run.result.table())
     if chart:
         from ..analysis import ascii_chart
 
         print()
-        print(ascii_chart(result))
+        print(ascii_chart(run.result))
+    for failure in run.failures:
+        print(f"warning: {failure.summary()}", file=sys.stderr)
     print(f"[{time.time() - start:.1f}s]")
+    return len(run.failures)
 
 
 def _result_payload(run) -> Dict[str, object]:
@@ -150,13 +160,16 @@ def _cmd_run(args) -> None:
     sets = _parse_set(args.set or [])
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None if args.quiet else print_progress
-    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress, audit=args.audit)
+    failed_cells = 0
 
     def run_all() -> None:
+        nonlocal failed_cells
         payloads = []
         for name in names:
             start = time.time()
             run = runner.run(name, _overrides_for(name, args.num_pieces, sets))
+            failed_cells += len(run.failures)
             if args.json:
                 payloads.append(_result_payload(run))
             else:
@@ -187,6 +200,11 @@ def _cmd_run(args) -> None:
     else:
         run_all()
 
+    if args.audit and failed_cells:
+        # Under --audit a failed cell is (almost always) an invariant
+        # violation; make the run's exit status reflect it for CI.
+        raise SystemExit(1)
+
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
@@ -211,6 +229,10 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write the structured cross-layer event log of "
                              "the run as JSONL to PATH (forces --jobs 1; "
                              "render it with scripts/run_report.py)")
+    parser.add_argument("--audit", action="store_true",
+                        help="check cross-layer invariants (repro.audit) in "
+                             "every simulated cell; violations fail the cell "
+                             "and the run exits non-zero (disables the cache)")
 
 
 def main(argv=None) -> None:
@@ -252,15 +274,24 @@ def main(argv=None) -> None:
                             help="write the structured cross-layer event log "
                                  "of the run as JSONL to PATH (render it with "
                                  "scripts/run_report.py)")
+        legacy.add_argument("--audit", action="store_true",
+                            help="check cross-layer invariants (repro.audit); "
+                                 "violations exit non-zero")
         args = legacy.parse_args(argv)
+        failed_cells = 0
 
         def run_all() -> None:
+            nonlocal failed_cells
             if args.figure == "all":
                 for name in _resolve_names("all"):
-                    run_one(name, args.num_pieces, chart=args.chart)
+                    failed_cells += run_one(
+                        name, args.num_pieces, chart=args.chart, audit=args.audit
+                    )
                     print()
             else:
-                run_one(args.figure, args.num_pieces, chart=args.chart)
+                failed_cells += run_one(
+                    args.figure, args.num_pieces, chart=args.chart, audit=args.audit
+                )
 
         if args.trace is not None:
             from ..obs import tracing
@@ -274,6 +305,8 @@ def main(argv=None) -> None:
             print(f"[trace written to {args.trace}]")
         else:
             run_all()
+        if args.audit and failed_cells:
+            raise SystemExit(1)
         return
 
     args = parser.parse_args(argv)

@@ -42,6 +42,9 @@ class _Direction:
         self._busy = False
         self.bytes_sent = 0
         self.packets_sent = 0
+        audit = sim.audit
+        if audit is not None:
+            audit.register_direction(self)
 
     def send(self, packet: Packet) -> None:
         if self.queue.enqueue(packet, self.sim.now) and not self._busy:

@@ -32,6 +32,10 @@ class DropTailQueue:
         self.drops: List[DropRecord] = []
         self.enqueued = 0
         self.dequeued = 0
+        self.bytes_enqueued = 0
+        self.bytes_dequeued = 0
+        self.cleared = 0
+        self.cleared_bytes = 0
         self.on_drop: Optional[Callable[[Packet, DropRecord], None]] = None
 
     def enqueue(self, packet: Packet, now: float) -> bool:
@@ -49,6 +53,7 @@ class DropTailQueue:
         self._queue.append(packet)
         self._bytes += packet.size_bytes
         self.enqueued += 1
+        self.bytes_enqueued += packet.size_bytes
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -58,14 +63,21 @@ class DropTailQueue:
         packet = self._queue.popleft()
         self._bytes -= packet.size_bytes
         self.dequeued += 1
+        self.bytes_dequeued += packet.size_bytes
         return packet
 
     def peek(self) -> Optional[Packet]:
         return self._queue[0] if self._queue else None
 
+    def packets(self) -> List[Packet]:
+        """The queued packets, head first (inspection only)."""
+        return list(self._queue)
+
     def clear(self) -> int:
         """Discard all queued packets (interface down); returns count."""
         count = len(self._queue)
+        self.cleared += count
+        self.cleared_bytes += self._bytes
         self._queue.clear()
         self._bytes = 0
         return count

@@ -99,6 +99,9 @@ class WirelessChannel:
         self.frames_lost = 0
         self.airtime_busy = 0.0
 
+        audit = sim.audit
+        if audit is not None:
+            audit.register_channel(self)
         host.interface.attach(self)
 
     # ------------------------------------------------------------------
@@ -122,9 +125,16 @@ class WirelessChannel:
 
     def host_detached(self) -> None:
         """Interface went down: flush both buffers (frames in the air at the
-        old address will be unroutable at the core anyway)."""
-        self.uplink_queue.clear()
-        self.downlink_queue.clear()
+        old address will be unroutable at the core anyway).
+
+        Arrival-order entries of the flushed packets must go with them:
+        leaving them behind grows ``_arrival`` without bound across
+        handoffs, and a reused packet id would inherit a stale arrival
+        key and jump the FIFO arbitration."""
+        for queue in (self.uplink_queue, self.downlink_queue):
+            for packet in queue.packets():
+                self._arrival.pop(packet.packet_id, None)
+            queue.clear()
 
     # ------------------------------------------------------------------
     # Core-side API (AP transmits)

@@ -100,34 +100,46 @@ def _canonical_value(value: object) -> object:
     return json.loads(json.dumps(value))
 
 
-def _execute_cell(payload: Tuple[str, str, list, int, Mapping[str, object], int]):
+def _execute_cell(payload: Tuple[str, str, list, int, Mapping[str, object], int, bool]):
     """Worker entry point: run one cell, retrying once on failure.
 
     Module-level (picklable) and self-bootstrapping: it imports the
     scenario's defining module first, so it works under both ``fork``
-    and ``spawn`` start methods.
+    and ``spawn`` start methods.  When the payload's audit flag is set,
+    invariant auditing (:mod:`repro.audit`) is installed around the cell
+    so every simulator the cell builds is checked; a violation surfaces
+    as an ordinary cell failure carrying the ``AuditViolation``
+    traceback.
     """
-    module_name, scenario_name, key_list, seed, params, retries = payload
+    module_name, scenario_name, key_list, seed, params, retries, audit_on = payload
     importlib.import_module(module_name)
     scn = get_scenario(scenario_name)
     key = tuple(key_list)
     attempts = 0
     start = time.perf_counter()
-    while True:
-        attempts += 1
-        try:
-            value = scn.run_cell(key, seed, params)
-        except Exception:
-            if attempts > retries:
+    if audit_on:
+        from .. import audit as _audit
+
+        _audit.install()
+    try:
+        while True:
+            attempts += 1
+            try:
+                value = scn.run_cell(key, seed, params)
+            except Exception:
+                if attempts > retries:
+                    return (
+                        key_list, seed, False, traceback.format_exc(),
+                        time.perf_counter() - start, attempts,
+                    )
+            else:
                 return (
-                    key_list, seed, False, traceback.format_exc(),
+                    key_list, seed, True, _canonical_value(value),
                     time.perf_counter() - start, attempts,
                 )
-        else:
-            return (
-                key_list, seed, True, _canonical_value(value),
-                time.perf_counter() - start, attempts,
-            )
+    finally:
+        if audit_on:
+            _audit.uninstall()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -154,13 +166,18 @@ class Runner:
         retries: int = 1,
         progress: Optional[Progress] = None,
         metrics: Optional[MetricsRegistry] = None,
+        audit: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
         self.jobs = jobs
-        self.cache = cache
+        # An audited run must actually simulate: cached values were (or
+        # would be) produced without the checkers, so caching is disabled
+        # in both directions while auditing.
+        self.cache = None if audit else cache
+        self.audit = audit
         self.retries = retries
         self.progress = progress
         # `is not None`, not truthiness: an empty registry is falsy (len 0).
@@ -216,7 +233,7 @@ class Runner:
 
         module_name = type(scn).__module__
         payloads = [
-            (module_name, scn.name, list(key), seed, params, self.retries)
+            (module_name, scn.name, list(key), seed, params, self.retries, self.audit)
             for key, seed in pending
         ]
 
@@ -292,6 +309,7 @@ def run_scenario(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Progress] = None,
+    audit: bool = False,
 ):
     """Run a registered scenario and return its ``ExperimentResult``.
 
@@ -299,5 +317,5 @@ def run_scenario(
     the benchmarks, and ``scripts/generate_experiments_md.py``.  For the
     failure list and runner statistics, use :class:`Runner` directly.
     """
-    runner = Runner(jobs=jobs, cache=cache, progress=progress)
+    runner = Runner(jobs=jobs, cache=cache, progress=progress, audit=audit)
     return runner.run(name, overrides).result

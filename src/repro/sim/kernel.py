@@ -11,6 +11,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Callable, Optional
 
+from ..audit import apply_defaults as _audit_defaults
 from ..obs import tracing as _tracing
 from ..obs.metrics import MetricsRegistry
 from ..obs.profiling import KernelProfiler
@@ -51,6 +52,11 @@ class Simulator:
         _tracing.apply_defaults(self.trace)
         self.metrics = MetricsRegistry(clock=lambda: self._now)
         self._profiler: Optional[KernelProfiler] = None
+        # Invariant auditing (repro.audit): None unless an Auditor is
+        # attached — components and the event loop pay one `is None`
+        # test when off.  Globally installed audit defaults attach here.
+        self.audit = None
+        _audit_defaults(self)
 
     # ------------------------------------------------------------------
     # Clock
@@ -107,6 +113,7 @@ class Simulator:
         self._stopped = False
         processed = 0
         profiler = self._profiler
+        auditor = self.audit
         trace = self.trace
         if trace.enabled:
             trace.event(
@@ -124,6 +131,8 @@ class Simulator:
                 event = self._queue.pop()
                 if event is None:
                     break
+                if auditor is not None:
+                    auditor.before_event(event.time)
                 self._now = event.time
                 if profiler is not None:
                     started = perf_counter()
@@ -141,6 +150,8 @@ class Simulator:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
             self._now = until
+        if auditor is not None:
+            auditor.on_run_end()
         if profiler is not None:
             profiler.note_run(
                 self._now - run_started_sim,

@@ -156,6 +156,10 @@ class TCPConnection:
         self.on_message: Optional[Callable[[Any], None]] = None
         self.on_close: Optional[Callable[[str], None]] = None
 
+        audit = sim.audit
+        if audit is not None:
+            audit.register_connection(self)
+
     @property
     def _trace_label(self) -> str:
         """Stable connection label for structured trace events."""

@@ -56,8 +56,18 @@ class RTTEstimator:
         self._backoff = 1.0
 
     def backoff(self) -> None:
-        """Double the timeout after an expiry (Karn), capped at max_rto."""
-        self._backoff = min(self._backoff * 2.0, self.max_rto / max(self._rto, 1e-9))
+        """Double the timeout after an expiry (Karn), capped at max_rto.
+
+        The cap keeps ``_rto * _backoff`` from overshooting ``max_rto``,
+        but it must never push the multiplier below 1: when ``_rto``
+        already exceeds ``max_rto`` the ratio is < 1, and using it
+        verbatim would *shrink* the effective timeout after an expiry.
+        ``rto`` clamps to ``max_rto`` either way; the floor keeps the
+        backoff monotone.
+        """
+        self._backoff = min(
+            self._backoff * 2.0, max(1.0, self.max_rto / max(self._rto, 1e-9))
+        )
 
     def reset_backoff(self) -> None:
         self._backoff = 1.0

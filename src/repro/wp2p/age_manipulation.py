@@ -81,6 +81,10 @@ class AgeBasedManipulation:
         self.dupacks_dropped = 0
         self.dupacks_seen = 0
 
+        audit = sim.audit
+        if audit is not None:
+            audit.register_am(self)
+
     # ------------------------------------------------------------------
     def install(self) -> None:
         """Register on the host's Netfilter hooks (idempotent)."""

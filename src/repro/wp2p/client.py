@@ -101,6 +101,7 @@ class WP2PClient(BitTorrentClient):
         self.identity.remember(torrent.info_hash, self.peer_id)
         if isinstance(self.selector, MobilityAwareSelector):
             self.selector.trace = sim.trace
+            self.selector.owner = self.name
 
         self.am: Optional[AgeBasedManipulation] = None
         if wconfig.am_enabled:

@@ -72,8 +72,10 @@ class LIHDController:
         self.alpha = alpha
         self.beta = beta
         self.u_floor = u_floor
-        # Initialization per Figure 6: Ucur = 0.5 * Umax.
-        self.u_cur = 0.5 * u_max
+        # Initialization per Figure 6: Ucur = 0.5 * Umax — but never below
+        # the floor; with e.g. u_max=3000 the raw 0.5 * Umax would start
+        # the controller outside its own [u_floor, u_max] operating band.
+        self.u_cur = min(u_max, max(u_floor, 0.5 * u_max))
         self._d_prev = 0.0
         self._dec_count = 0
         self._downloaded_at_window_start = 0.0
@@ -81,6 +83,9 @@ class LIHDController:
         self._task = PeriodicTask(client.sim, interval, self._update)
         self.history: List[Tuple[float, float, float]] = []  # (t, U, D)
         self.running = False
+        audit = client.sim.audit
+        if audit is not None:
+            audit.register_lihd(self)
 
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -81,8 +81,11 @@ class MobilityAwareSelector(PieceSelector):
         self.sequential_choices = 0
         # Optional structured tracing (repro.obs.tracing.TraceBus), wired
         # by WP2PClient; fetch-mode *flips* (sequential <-> rarest) are the
-        # interesting signal, so only transitions are emitted.
+        # interesting signal, so only transitions are emitted.  ``owner``
+        # (the client name, also wired by WP2PClient) tags the events so
+        # per-client streams stay distinguishable.
         self.trace = None
+        self.owner: Optional[str] = None
         self._last_mode: Optional[str] = None
 
     def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
@@ -99,7 +102,7 @@ class MobilityAwareSelector(PieceSelector):
             self._last_mode = mode
             if self.trace is not None and self.trace.enabled:
                 self.trace.event(
-                    "wp2p", "ma_fetch_mode", mode=mode,
+                    "wp2p", "ma_fetch_mode", mode=mode, client=self.owner,
                     pr=round(pr, 4), progress=round(ctx.progress, 4),
                 )
         return selector.choose(candidates, ctx)
