@@ -92,6 +92,48 @@ def _fuzz_swarm(rng: random.Random, seed: int, duration: float, verbose: bool) -
     return desc
 
 
+def _fuzz_chaos(rng: random.Random, seed: int, duration: float, verbose: bool) -> str:
+    """One randomized mini-swarm with a chaos preset unleashed over it.
+
+    The preset/intensity/horizon are drawn from the seed like every other
+    fuzz parameter; the schedule itself is a pure function of that draw,
+    so a violating run reproduces from its seed alone.
+    """
+    from repro.bittorrent.swarm import SwarmScenario
+    from repro.chaos import PRESET_NAMES, ChaosSchedule, preset_schedule
+    from repro.wp2p.client import WP2PClient
+
+    preset = rng.choice(PRESET_NAMES)
+    intensity = rng.choice([0.5, 1.0, 2.0, 3.0])
+    horizon = duration * rng.choice([0.5, 0.8, 1.2])
+    file_size = rng.choice([256 * 1024, 512 * 1024])
+    use_wp2p = rng.random() < 0.5
+    with_mobility = rng.random() < 0.6
+
+    scenario = SwarmScenario(seed=seed, file_size=file_size, piece_length=32_768)
+    scenario.add_wired_peer("seed0", complete=True, up_rate=200_000.0)
+    scenario.add_wired_peer("wired1")
+    if use_wp2p:
+        handle = scenario.add_wireless_peer("mobile0", client_factory=WP2PClient)
+    else:
+        handle = scenario.add_wireless_peer("mobile0")
+    if with_mobility:
+        scenario.add_mobility(handle, interval=max(10.0, duration / 4))
+
+    schedule: ChaosSchedule = preset_schedule(preset, intensity, horizon=horizon)
+    scenario.add_chaos(schedule)
+    desc = (
+        f"chaos(preset={preset}, intensity={intensity:g}, horizon={horizon:g}, "
+        f"file={file_size // 1024}KiB, wp2p={use_wp2p}, mobility={with_mobility}, "
+        f"events={len(schedule)})"
+    )
+    if verbose:
+        print(f"  {desc}", file=sys.stderr)
+    scenario.start_all()
+    scenario.run(until=duration)
+    return desc
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=10, metavar="N",
@@ -102,6 +144,8 @@ def main(argv: List[str] | None = None) -> int:
                         help="simulated seconds per run (default 60)")
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="print each run's drawn configuration")
+    parser.add_argument("--chaos", action="store_true",
+                        help="fuzz chaos-schedule runs only (seeded preset sweep)")
     args = parser.parse_args(argv)
 
     violations = 0
@@ -110,7 +154,16 @@ def main(argv: List[str] | None = None) -> int:
         # The drawn topology is a pure function of the seed, so a failing
         # run reproduces from its seed alone.
         rng = random.Random(seed)
-        fuzz = _fuzz_pair if rng.random() < 0.4 else _fuzz_swarm
+        if args.chaos:
+            fuzz = _fuzz_chaos
+        else:
+            draw = rng.random()
+            if draw < 0.35:
+                fuzz = _fuzz_pair
+            elif draw < 0.8:
+                fuzz = _fuzz_swarm
+            else:
+                fuzz = _fuzz_chaos
         print(f"[{i + 1}/{args.seeds}] seed={seed} {fuzz.__name__}",
               file=sys.stderr)
         desc = "?"

@@ -145,7 +145,18 @@ def check_connection(conn) -> Iterator[str]:
     """Per-connection TCP sanity (sequence space, counters, RTO)."""
     label = conn._trace_label
     snd = conn.snd
-    if not snd.una <= snd.nxt <= snd.end:
+    # The FIN occupies one sequence number that snd.nxt/snd.end never
+    # cover, so a half-closed connection whose FIN was acknowledged —
+    # the peer vanished before sending its own FIN — legitimately rests
+    # at una == old-nxt + 1 (same +1 the pair checker admits).
+    una = snd.una
+    if (
+        conn._fin_sent
+        and conn._local_fin_seq is not None
+        and una == conn._local_fin_seq + 1
+    ):
+        una -= 1
+    if not una <= snd.nxt <= snd.end:
         yield (
             f"tcp {label}: sequence disorder una={snd.una} "
             f"nxt={snd.nxt} end={snd.end}"

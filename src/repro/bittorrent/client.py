@@ -34,6 +34,7 @@ from .messages import (
     AnnounceResponse,
     Piece,
     Request,
+    TrackerError,
 )
 from .metainfo import Torrent
 from .peer import PeerConnection
@@ -285,6 +286,12 @@ class BitTorrentClient:
                 if not fire_and_forget:
                     self._on_tracker_response(message)
                 conn.close()
+            elif isinstance(message, TrackerError):
+                # A refusing tracker closes after the error; close our
+                # side too so on_close fires and schedules the retry —
+                # otherwise the connection idles in CLOSE_WAIT and the
+                # client never re-announces.
+                conn.close()
 
         def on_close(reason: str) -> None:
             if not got_response and not fire_and_forget:
@@ -382,6 +389,17 @@ class BitTorrentClient:
         self._connecting.discard((peer.remote_ip, peer.remote_port))
         if peer.peer_id is not None and self.peers.get(peer.peer_id) is peer:
             del self.peers[peer.peer_id]
+        if peer.peer_id is None and peer.initiated:
+            # An outgoing connection that died before the handshake means
+            # the address is stale (a handed-off mobile host, a crashed
+            # peer).  Forget it — keeping it would both leak an entry per
+            # churn cycle and burn a connect slot on a doomed SYN every
+            # sweep.  A live peer is re-learned from the next tracker
+            # response or its own incoming connection.
+            dead = (peer.remote_ip, peer.remote_port)
+            for peer_id, addr in list(self.known_addresses.items()):
+                if addr == dead:
+                    del self.known_addresses[peer_id]
         self.drop_uploads_for(peer)
 
     def connected_peers(self) -> List[PeerConnection]:
@@ -576,6 +594,7 @@ class BitTorrentClient:
                 self.fill_requests(peer)
         self._keepalive_sweep()
         self._pump_uploads()
+        self.ledger.prune()
         if self._connection_count() < self.config.max_peers:
             self.connect_to_known_peers(limit=self.config.connects_per_sweep)
 

@@ -53,6 +53,21 @@ class PeerLedger:
     def forget(self, peer_id: str) -> None:
         self._credit.pop(peer_id, None)
 
+    def prune(self, floor: float = 1.0) -> int:
+        """Drop entries whose decayed credit has fallen below ``floor``
+        bytes; returns how many were dropped.
+
+        Peer-ID churn (a mobile host restarting its task with a fresh ID
+        after every handoff) would otherwise grow the ledger without
+        bound: each orphaned ID sits at an exponentially decaying — but
+        never zero — credit forever.  Below one byte of effective credit
+        an entry is indistinguishable from an unknown peer.
+        """
+        stale = [pid for pid in self._credit if self._decayed(pid) < floor]
+        for pid in stale:
+            del self._credit[pid]
+        return len(stale)
+
     def known_ids(self) -> Tuple[str, ...]:
         return tuple(self._credit)
 

@@ -84,6 +84,16 @@ class PieceManager:
         self.completion_order: List[int] = []
 
     # ------------------------------------------------------------------
+    # Fault hook (repro.chaos)
+    # ------------------------------------------------------------------
+    def set_corrupt_probability(self, probability: float) -> None:
+        """Change the per-piece corruption probability mid-run (chaos
+        corruption bursts set it for a window, then restore it)."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("corrupt_probability must be in [0, 1)")
+        self.corrupt_probability = probability
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import chaos as chaos_defaults
+from ..chaos import ChaosController, ChaosSchedule
 from ..net import (
     AddressAllocator,
     Host,
@@ -78,6 +80,29 @@ class SwarmScenario:
             tracker_port=self.tracker.port,
         )
         self.peers: Dict[str, PeerHandle] = {}
+        #: armed fault-injection controller, if any (see repro.chaos)
+        self.chaos: Optional[ChaosController] = None
+        applied = chaos_defaults.apply_defaults(self)
+        if applied is not None:
+            self.chaos = applied
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def add_chaos(self, schedule: ChaosSchedule) -> ChaosController:
+        """Arm a :class:`~repro.chaos.ChaosSchedule` against this swarm.
+
+        Fault targets are resolved when each fault fires, so this can be
+        called before or after the peers are built.  Only one controller
+        may be armed per scenario (schedules compose with ``+`` instead).
+        """
+        if self.chaos is not None:
+            raise RuntimeError(
+                "scenario already has an armed ChaosController; "
+                "compose schedules with + before attaching"
+            )
+        self.chaos = ChaosController(self, schedule).arm()
+        return self.chaos
 
     # ------------------------------------------------------------------
     # Peer construction

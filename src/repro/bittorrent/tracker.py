@@ -61,6 +61,8 @@ class Tracker:
         self._swarms: Dict[str, Dict[str, PeerRecord]] = {}
         self._rng = sim.rng.stream("tracker")
         self.announces = 0
+        self.serving = True
+        self.refused = 0
         stack = host.transport
         if not isinstance(stack, TCPStack):
             stack = TCPStack(sim, host)
@@ -86,10 +88,27 @@ class Tracker:
         return seeds, leeches
 
     # ------------------------------------------------------------------
+    # Fault hook (repro.chaos)
+    # ------------------------------------------------------------------
+    def set_serving(self, serving: bool) -> None:
+        """Soft-outage fault hook: while not serving, every announce is
+        answered with ``TrackerError("tracker_offline")`` and the
+        connection closed — the TCP listener stays up (a tracker whose
+        web server is down but whose host is still routable).  For a
+        full blackout, disconnect the tracker's *host* instead (see
+        :class:`repro.chaos.TrackerOutage`)."""
+        self.serving = serving
+
+    # ------------------------------------------------------------------
     def _accept(self, conn: TCPConnection) -> None:
         conn.on_message = lambda message: self._handle(conn, message)
 
     def _handle(self, conn: TCPConnection, message: object) -> None:
+        if not self.serving:
+            self.refused += 1
+            conn.send_message(TrackerError("tracker_offline"))
+            conn.close()
+            return
         if not isinstance(message, AnnounceRequest):
             conn.send_message(TrackerError("bad_request"))
             conn.close()

@@ -1,0 +1,169 @@
+"""Named chaos presets: ``preset_schedule(name, intensity, horizon)``.
+
+A preset is a **pure function** of its three arguments — no randomness,
+no clock — returning a :class:`~repro.chaos.schedule.ChaosSchedule`.
+All stochastic choices (churn arrival times, churn victims) happen later,
+at arm time, from the simulation's seeded RNG.  That purity is what
+makes a ``(preset, intensity)`` pair a valid result-cache key.
+
+``intensity`` scales fault pressure continuously: ``0.0`` yields the
+empty schedule (a clean run), ``1.0`` the nominal preset, larger values
+proportionally more/longer/harsher faults.  ``horizon`` is the simulated
+time window the faults are laid out over; presets keep roughly the last
+quarter of the horizon fault-free so runs can drain and complete.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from .schedule import (
+    ChaosSchedule,
+    CorruptionBurst,
+    HandoffStorm,
+    LinkBlackout,
+    LinkDegradation,
+    PeerChurn,
+    TrackerOutage,
+)
+
+
+def _churn(intensity: float, horizon: float) -> ChaosSchedule:
+    """Poisson peer crash/rejoin churn across the whole swarm."""
+    active = horizon * 0.75
+    return ChaosSchedule((
+        PeerChurn(
+            start=active * 0.1,
+            duration=active * 0.8,
+            rate_per_min=0.5 * intensity,
+            downtime=8.0,
+            target="*",
+        ),
+    ))
+
+
+def _blackout(intensity: float, horizon: float) -> ChaosSchedule:
+    """Tracker outages plus wireless link blackouts (dead radio)."""
+    active = horizon * 0.75
+    events = [
+        TrackerOutage(start=active * 0.2, duration=10.0 * intensity, mode="blackout"),
+        TrackerOutage(start=active * 0.6, duration=10.0 * intensity, mode="refuse"),
+        LinkBlackout(start=active * 0.4, duration=5.0 * intensity, target="wireless"),
+    ]
+    if intensity >= 1.5:
+        events.append(
+            LinkBlackout(start=active * 0.8, duration=5.0 * intensity, target="wireless")
+        )
+    return ChaosSchedule(tuple(events))
+
+
+def _degrade(intensity: float, horizon: float) -> ChaosSchedule:
+    """A worsening-then-recovering link-quality ramp on the wireless cell."""
+    active = horizon * 0.75
+    step = active * 0.2
+    factor = max(0.05, 1.0 - 0.35 * intensity)
+    return ChaosSchedule((
+        LinkDegradation(
+            start=step, duration=step, target="wireless",
+            rate_factor=factor, extra_delay=0.01 * intensity,
+        ),
+        LinkDegradation(
+            start=step * 2, duration=step, target="wireless",
+            rate_factor=max(0.05, factor * 0.5),
+            ber=min(5e-5 * intensity, 5e-4),
+            extra_delay=0.02 * intensity,
+        ),
+        LinkDegradation(
+            start=step * 3, duration=step, target="wireless",
+            rate_factor=factor, extra_delay=0.01 * intensity,
+        ),
+    ))
+
+
+def _handoff_storm(intensity: float, horizon: float) -> ChaosSchedule:
+    """Forced IP-handoff bursts against the mobile host(s)."""
+    active = horizon * 0.75
+    count = max(1, round(3 * intensity))
+    spacing = max(5.0, active * 0.5 / count)
+    return ChaosSchedule((
+        HandoffStorm(
+            start=active * 0.2, target="mobile",
+            count=count, spacing=spacing, downtime=1.0,
+        ),
+    ))
+
+
+def _corruption(intensity: float, horizon: float) -> ChaosSchedule:
+    """Piece-corruption bursts: hash failures and re-downloads."""
+    active = horizon * 0.75
+    probability = min(0.9, 0.15 * intensity)
+    return ChaosSchedule((
+        CorruptionBurst(
+            start=active * 0.2, duration=active * 0.3,
+            target="*", probability=probability,
+        ),
+    ))
+
+
+def _mixed(intensity: float, horizon: float) -> ChaosSchedule:
+    """The kitchen sink: churn + outage + degradation + handoff storm.
+
+    This is the preset the ``figx_chaos`` sweep uses: it stresses exactly
+    the recovery paths wP2P improves (identity retention across handoffs,
+    mobility-aware peering), so the wP2P-vs-baseline gap widens with
+    intensity.
+    """
+    active = horizon * 0.75
+    count = max(1, round(2 * intensity))
+    return ChaosSchedule((
+        PeerChurn(
+            start=active * 0.15, duration=active * 0.6,
+            rate_per_min=0.25 * intensity, downtime=8.0, target="wired",
+        ),
+        TrackerOutage(start=active * 0.3, duration=8.0 * intensity, mode="refuse"),
+        LinkDegradation(
+            start=active * 0.45, duration=active * 0.2, target="wireless",
+            rate_factor=max(0.1, 1.0 - 0.3 * intensity),
+        ),
+        HandoffStorm(
+            start=active * 0.2, target="mobile",
+            count=count, spacing=max(6.0, active * 0.4 / count), downtime=1.0,
+        ),
+        CorruptionBurst(
+            start=active * 0.65, duration=active * 0.2,
+            target="wireless", probability=min(0.6, 0.1 * intensity),
+        ),
+    ))
+
+
+PRESETS: Dict[str, Callable[[float, float], ChaosSchedule]] = {
+    "churn": _churn,
+    "blackout": _blackout,
+    "degrade": _degrade,
+    "handoff-storm": _handoff_storm,
+    "corruption": _corruption,
+    "mixed": _mixed,
+}
+
+PRESET_NAMES: Tuple[str, ...] = tuple(sorted(PRESETS))
+
+
+def preset_schedule(
+    name: str, intensity: float = 1.0, horizon: float = 300.0
+) -> ChaosSchedule:
+    """The schedule for preset ``name`` at ``intensity`` over ``horizon``.
+
+    ``intensity <= 0`` returns the empty schedule regardless of preset,
+    so sweeps can include a clean baseline cell without special-casing.
+    """
+    if name not in PRESETS:
+        raise ValueError(
+            f"unknown chaos preset {name!r}; choose from {', '.join(PRESET_NAMES)}"
+        )
+    if intensity < 0:
+        raise ValueError("intensity must be >= 0")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if intensity == 0:
+        return ChaosSchedule()
+    return PRESETS[name](intensity, horizon)

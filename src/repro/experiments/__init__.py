@@ -42,6 +42,7 @@ from .fig3_incentives import fig3a, fig3b, fig3c
 from .fig4_mobility import fig4a, fig4bc, playability_run
 from .fig8_wp2p import am_only_config, fig8a, fig8b, fig8c, ia_config
 from .fig9_wp2p import fig9ab, fig9c, mf_only_config, rr_only_config
+from .figx_chaos import chaos_run, figx_chaos
 
 __all__ = [
     "BulkSender",
@@ -71,4 +72,6 @@ __all__ = [
     "fig9c",
     "mf_only_config",
     "rr_only_config",
+    "chaos_run",
+    "figx_chaos",
 ]

@@ -46,6 +46,7 @@ from ..runner import (
 ALL_ORDER: List[str] = [
     "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
     "fig8a", "fig8b", "fig8c", "fig9c", "fig4bc", "fig9ab",
+    "figx_chaos",
 ]
 
 
@@ -160,7 +161,15 @@ def _cmd_run(args) -> None:
     sets = _parse_set(args.set or [])
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None if args.quiet else print_progress
-    runner = Runner(jobs=args.jobs, cache=cache, progress=progress, audit=args.audit)
+    try:
+        runner = Runner(
+            jobs=args.jobs, cache=cache, progress=progress, audit=args.audit,
+            cell_timeout=args.cell_timeout, chaos=args.chaos,
+            chaos_intensity=args.chaos_intensity,
+            chaos_horizon=args.chaos_horizon,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     failed_cells = 0
 
     def run_all() -> None:
@@ -233,6 +242,23 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="check cross-layer invariants (repro.audit) in "
                              "every simulated cell; violations fail the cell "
                              "and the run exits non-zero (disables the cache)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell wall-clock budget; a cell exceeding it "
+                             "becomes a failed cell instead of hanging the run")
+    parser.add_argument("--chaos", metavar="PRESET", default=None,
+                        help="inject a deterministic fault schedule "
+                             "(repro.chaos preset: "
+                             "churn|blackout|degrade|handoff-storm|"
+                             "corruption|mixed) into every simulated cell")
+    parser.add_argument("--chaos-intensity", type=float, default=1.0,
+                        metavar="X",
+                        help="scale the chaos preset's fault pressure "
+                             "(0 disables; default 1.0)")
+    parser.add_argument("--chaos-horizon", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="simulated window the chaos preset lays its "
+                             "faults over (default 300)")
 
 
 def main(argv=None) -> None:

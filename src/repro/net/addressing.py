@@ -51,6 +51,15 @@ class AddressAllocator:
         """Mark ``address`` as no longer live (idempotent)."""
         self._live.discard(address)
 
+    def reclaim(self, address: str) -> None:
+        """Re-mark a previously issued address as live (idempotent).
+
+        For hosts restored at a pinned address — e.g. a tracker coming
+        back at its published IP — as opposed to a handing-off client,
+        which must go through :meth:`allocate`.
+        """
+        self._live.add(address)
+
     def is_live(self, address: str) -> bool:
         return address in self._live
 

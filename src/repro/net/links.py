@@ -55,6 +55,11 @@ class _Direction:
             raise ValueError("rate must be positive")
         self.rate = rate_bytes_per_s
 
+    def set_prop_delay(self, prop_delay: float) -> None:
+        if prop_delay < 0:
+            raise ValueError("prop_delay must be non-negative")
+        self.prop_delay = prop_delay
+
     def _serve(self) -> None:
         packet = self.queue.dequeue()
         if packet is None:
@@ -101,6 +106,46 @@ class WiredAccessLink:
             host.interface.receive,
         )
         host.interface.attach(self)
+        self._baseline = None
+
+    # ------------------------------------------------------------------
+    # Fault hooks (repro.chaos)
+    # ------------------------------------------------------------------
+    def apply_degradation(
+        self, rate_factor: float = 1.0, extra_delay: float = 0.0
+    ) -> None:
+        """Degrade both directions: rates scaled by ``rate_factor``,
+        propagation delay inflated by ``extra_delay`` seconds.
+
+        The pre-fault configuration is snapshotted on the first call and
+        restored by :meth:`clear_degradation`; overlapping degradations
+        therefore do not compound — the last applied one wins.
+        """
+        if rate_factor <= 0:
+            raise ValueError("rate_factor must be positive")
+        if extra_delay < 0:
+            raise ValueError("extra_delay must be non-negative")
+        if self._baseline is None:
+            self._baseline = (
+                self.uplink.rate, self.downlink.rate,
+                self.uplink.prop_delay, self.downlink.prop_delay,
+            )
+        up_rate, down_rate, up_delay, down_delay = self._baseline
+        self.uplink.set_rate(up_rate * rate_factor)
+        self.downlink.set_rate(down_rate * rate_factor)
+        self.uplink.set_prop_delay(up_delay + extra_delay)
+        self.downlink.set_prop_delay(down_delay + extra_delay)
+
+    def clear_degradation(self) -> None:
+        """Restore the pre-fault rates and delays (no-op when clean)."""
+        if self._baseline is None:
+            return
+        up_rate, down_rate, up_delay, down_delay = self._baseline
+        self.uplink.set_rate(up_rate)
+        self.downlink.set_rate(down_rate)
+        self.uplink.set_prop_delay(up_delay)
+        self.downlink.set_prop_delay(down_delay)
+        self._baseline = None
 
     # Host-side API ------------------------------------------------------
     def send_from_host(self, packet: Packet) -> None:

@@ -63,6 +63,7 @@ class MobilityController:
         self._rng = sim.rng.stream(f"mobility.{host.name}")
         self._running = False
         self._event = None
+        self._reconnect_event = None
         self.handoffs = 0
         self.history: List[float] = []
 
@@ -76,10 +77,41 @@ class MobilityController:
         return self
 
     def stop(self) -> None:
+        """Halt the schedule, including an in-flight handoff.
+
+        Both the next-handoff timer and a pending ``_reconnect`` are
+        cancelled: a controller stopped mid-handoff must never fire a
+        stale reconnect and re-attach a host the scenario (or a chaos
+        fault) has already torn down.  A host stopped mid-handoff
+        therefore stays down until someone reconnects it explicitly.
+        """
         self._running = False
         if self._event is not None:
             self.sim.cancel(self._event)
             self._event = None
+        if self._reconnect_event is not None:
+            self.sim.cancel(self._reconnect_event)
+            self._reconnect_event = None
+
+    @property
+    def in_handoff(self) -> bool:
+        """True while the interface is down awaiting its reconnect."""
+        return self._reconnect_event is not None
+
+    def trigger_handoff(self, downtime: Optional[float] = None) -> bool:
+        """Force an immediate out-of-schedule handoff (chaos storms).
+
+        Returns False (and does nothing) when the controller is stopped
+        or already mid-handoff.  The regular schedule resumes after the
+        forced reconnect.
+        """
+        if not self._running or self._reconnect_event is not None:
+            return False
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+        self._do_handoff(self.downtime if downtime is None else downtime)
+        return True
 
     def _schedule_next(self) -> None:
         delay = self.interval
@@ -91,15 +123,20 @@ class MobilityController:
         self._event = None
         if not self._running:
             return
+        self._do_handoff(self.downtime)
+
+    def _do_handoff(self, downtime: float) -> None:
         self.handoffs += 1
         self.history.append(self.sim.now)
         disconnect_host(self.host, self.internet, self.allocator)
-        self.sim.schedule(self.downtime, self._reconnect)
+        self._reconnect_event = self.sim.schedule(downtime, self._reconnect)
 
     def _reconnect(self) -> None:
+        self._reconnect_event = None
+        if not self._running:
+            return
         reconnect_host(self.host, self.internet, self.allocator)
-        if self._running:
-            self._schedule_next()
+        self._schedule_next()
 
 
 def disconnect_host(host: Host, internet: Internet, allocator: AddressAllocator) -> Optional[str]:
@@ -130,7 +167,11 @@ def reconnect_host(
     link = host.interface.link
     if link is None:
         raise RuntimeError(f"host {host.name} has no access link")
-    new_ip = ip if ip is not None else allocator.allocate()
+    if ip is not None:
+        allocator.reclaim(ip)
+        new_ip = ip
+    else:
+        new_ip = allocator.allocate()
     internet.register(new_ip, _as_attachment(link))
     host.bring_up(new_ip)
     return new_ip

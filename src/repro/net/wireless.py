@@ -88,6 +88,7 @@ class WirelessChannel:
         self._busy = False
         self._arrival_seq = 0
         self._arrival: dict[int, Tuple[float, int]] = {}
+        self._baseline: Optional[Tuple[float, float, float]] = None
 
         # Instrumentation -------------------------------------------------
         self.client_tx_series = TimeSeries(f"{self.name}.client_tx")
@@ -116,6 +117,42 @@ class WirelessChannel:
         if rate <= 0:
             raise ValueError("rate must be positive")
         self.rate = rate
+
+    # ------------------------------------------------------------------
+    # Fault hooks (repro.chaos)
+    # ------------------------------------------------------------------
+    def apply_degradation(
+        self,
+        rate_factor: float = 1.0,
+        ber: Optional[float] = None,
+        extra_delay: float = 0.0,
+    ) -> None:
+        """Degrade the cell: capacity scaled by ``rate_factor``, bit error
+        rate replaced by ``ber`` (when given), propagation delay inflated
+        by ``extra_delay`` seconds.
+
+        The pre-fault configuration is snapshotted on the first call and
+        restored by :meth:`clear_degradation`; overlapping degradations
+        do not compound — the last applied one wins.  Frames already in
+        the air finish at the rate they started with.
+        """
+        if rate_factor <= 0:
+            raise ValueError("rate_factor must be positive")
+        if extra_delay < 0:
+            raise ValueError("extra_delay must be non-negative")
+        if self._baseline is None:
+            self._baseline = (self.rate, self.ber, self.prop_delay)
+        base_rate, base_ber, base_delay = self._baseline
+        self.set_rate(base_rate * rate_factor)
+        self.set_ber(base_ber if ber is None else ber)
+        self.prop_delay = base_delay + extra_delay
+
+    def clear_degradation(self) -> None:
+        """Restore the pre-fault rate/BER/delay (no-op when clean)."""
+        if self._baseline is None:
+            return
+        self.rate, self.ber, self.prop_delay = self._baseline
+        self._baseline = None
 
     # ------------------------------------------------------------------
     # Host-side API (station transmits)

@@ -40,6 +40,7 @@ from .registry import (
 )
 from .runner import (
     CellFailure,
+    CellTimeout,
     Runner,
     RunnerStats,
     ScenarioRun,
@@ -50,6 +51,7 @@ from .spec import ScenarioSpec, canonical_json, code_version, freeze_params
 
 __all__ = [
     "CellFailure",
+    "CellTimeout",
     "ResultCache",
     "Runner",
     "RunnerStats",

@@ -31,11 +31,14 @@ from __future__ import annotations
 import importlib
 import json
 import multiprocessing
+import signal
 import sys
+import threading
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
 from ..obs import tracing
@@ -44,6 +47,42 @@ from .registry import Cell, CellKey, CellValues, Scenario, get_scenario
 from .spec import ScenarioSpec, cell_digest, code_version
 
 Progress = Callable[[str], None]
+
+
+class CellTimeout(Exception):
+    """A cell exceeded the runner's per-cell wall-clock budget."""
+
+
+@contextmanager
+def _cell_deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`CellTimeout` if the block runs longer than ``seconds``.
+
+    Implemented with ``SIGALRM``/``setitimer`` so it fires even when the
+    cell is stuck inside a single long-running call (the deadlock case
+    the timeout exists for).  Signals only work on the main thread of a
+    process — which is exactly where cells run, both inline (``jobs=1``)
+    and in pool workers — so on platforms without ``SIGALRM`` (Windows)
+    or off the main thread the guard degrades to a no-op rather than
+    failing the cell.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise CellTimeout(f"cell exceeded {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass
@@ -100,7 +139,12 @@ def _canonical_value(value: object) -> object:
     return json.loads(json.dumps(value))
 
 
-def _execute_cell(payload: Tuple[str, str, list, int, Mapping[str, object], int, bool]):
+def _execute_cell(
+    payload: Tuple[
+        str, str, list, int, Mapping[str, object], int, bool,
+        Optional[float], Optional[Mapping[str, object]],
+    ]
+):
     """Worker entry point: run one cell, retrying once on failure.
 
     Module-level (picklable) and self-bootstrapping: it imports the
@@ -109,9 +153,16 @@ def _execute_cell(payload: Tuple[str, str, list, int, Mapping[str, object], int,
     invariant auditing (:mod:`repro.audit`) is installed around the cell
     so every simulator the cell builds is checked; a violation surfaces
     as an ordinary cell failure carrying the ``AuditViolation``
-    traceback.
+    traceback.  When chaos options are present, :mod:`repro.chaos` is
+    installed the same way, so every scenario the cell builds gets the
+    fault schedule.  A :class:`CellTimeout` (the ``cell_timeout``
+    budget expiring) is terminal: a cell that ran out of wall clock once
+    will again, so it fails immediately with no retry.
     """
-    module_name, scenario_name, key_list, seed, params, retries, audit_on = payload
+    (
+        module_name, scenario_name, key_list, seed, params, retries,
+        audit_on, cell_timeout, chaos_options,
+    ) = payload
     importlib.import_module(module_name)
     scn = get_scenario(scenario_name)
     key = tuple(key_list)
@@ -121,11 +172,25 @@ def _execute_cell(payload: Tuple[str, str, list, int, Mapping[str, object], int,
         from .. import audit as _audit
 
         _audit.install()
+    if chaos_options is not None:
+        from .. import chaos as _chaos
+
+        _chaos.install(
+            str(chaos_options["preset"]),
+            intensity=float(chaos_options["intensity"]),  # type: ignore[arg-type]
+            horizon=float(chaos_options["horizon"]),      # type: ignore[arg-type]
+        )
     try:
         while True:
             attempts += 1
             try:
-                value = scn.run_cell(key, seed, params)
+                with _cell_deadline(cell_timeout):
+                    value = scn.run_cell(key, seed, params)
+            except CellTimeout:
+                return (
+                    key_list, seed, False, traceback.format_exc(),
+                    time.perf_counter() - start, attempts,
+                )
             except Exception:
                 if attempts > retries:
                     return (
@@ -138,6 +203,8 @@ def _execute_cell(payload: Tuple[str, str, list, int, Mapping[str, object], int,
                     time.perf_counter() - start, attempts,
                 )
     finally:
+        if chaos_options is not None:
+            _chaos.uninstall()
         if audit_on:
             _audit.uninstall()
 
@@ -157,6 +224,13 @@ class Runner:
 
     ``jobs=1`` executes cells inline (no pool); ``jobs=N`` uses ``N``
     worker processes.  ``cache=None`` disables caching entirely.
+
+    ``cell_timeout`` bounds each cell's wall-clock time: a cell that
+    exceeds it becomes a :class:`CellFailure` (no retry) instead of
+    hanging the campaign.  ``chaos`` names a :mod:`repro.chaos` preset
+    to install around every cell; chaotic results are deterministic, so
+    they stay cacheable — under a digest that folds in the chaos
+    options, disjoint from the clean run's.
     """
 
     def __init__(
@@ -167,11 +241,17 @@ class Runner:
         progress: Optional[Progress] = None,
         metrics: Optional[MetricsRegistry] = None,
         audit: bool = False,
+        cell_timeout: Optional[float] = None,
+        chaos: Optional[str] = None,
+        chaos_intensity: float = 1.0,
+        chaos_horizon: float = 300.0,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive")
         self.jobs = jobs
         # An audited run must actually simulate: cached values were (or
         # would be) produced without the checkers, so caching is disabled
@@ -180,6 +260,18 @@ class Runner:
         self.audit = audit
         self.retries = retries
         self.progress = progress
+        self.cell_timeout = cell_timeout
+        self.chaos_options: Optional[Dict[str, object]] = None
+        if chaos is not None:
+            from ..chaos import preset_schedule
+
+            # Validate eagerly so a bad preset fails at construction.
+            preset_schedule(chaos, chaos_intensity, chaos_horizon)
+            self.chaos_options = {
+                "preset": chaos,
+                "intensity": float(chaos_intensity),
+                "horizon": float(chaos_horizon),
+            }
         # `is not None`, not truthiness: an empty registry is falsy (len 0).
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(clock=time.perf_counter)
@@ -215,7 +307,9 @@ class Runner:
         code = code_version() if self.cache is not None else ""
         for cell in cells:
             if self.cache is not None:
-                hit, value = self.cache.get(cell_digest(spec, cell[0], cell[1], code))
+                hit, value = self.cache.get(
+                    cell_digest(spec, cell[0], cell[1], code, chaos=self.chaos_options)
+                )
                 if hit:
                     values[cell] = value
                     stats.cache_hits += 1
@@ -233,7 +327,10 @@ class Runner:
 
         module_name = type(scn).__module__
         payloads = [
-            (module_name, scn.name, list(key), seed, params, self.retries, self.audit)
+            (
+                module_name, scn.name, list(key), seed, params, self.retries,
+                self.audit, self.cell_timeout, self.chaos_options,
+            )
             for key, seed in pending
         ]
 
@@ -255,7 +352,10 @@ class Runner:
                         values[cell] = value
                         if self.cache is not None:
                             self.cache.put(
-                                cell_digest(spec, cell[0], cell[1], code),
+                                cell_digest(
+                                    spec, cell[0], cell[1], code,
+                                    chaos=self.chaos_options,
+                                ),
                                 value,
                                 meta={
                                     "scenario": scn.name,
@@ -310,6 +410,10 @@ def run_scenario(
     cache: Optional[ResultCache] = None,
     progress: Optional[Progress] = None,
     audit: bool = False,
+    cell_timeout: Optional[float] = None,
+    chaos: Optional[str] = None,
+    chaos_intensity: float = 1.0,
+    chaos_horizon: float = 300.0,
 ):
     """Run a registered scenario and return its ``ExperimentResult``.
 
@@ -317,5 +421,9 @@ def run_scenario(
     the benchmarks, and ``scripts/generate_experiments_md.py``.  For the
     failure list and runner statistics, use :class:`Runner` directly.
     """
-    runner = Runner(jobs=jobs, cache=cache, progress=progress, audit=audit)
+    runner = Runner(
+        jobs=jobs, cache=cache, progress=progress, audit=audit,
+        cell_timeout=cell_timeout, chaos=chaos,
+        chaos_intensity=chaos_intensity, chaos_horizon=chaos_horizon,
+    )
     return runner.run(name, overrides).result

@@ -118,16 +118,29 @@ def code_version() -> str:
 
 
 def cell_digest(
-    spec: ScenarioSpec, key: Tuple[object, ...], seed: int, code: Optional[str] = None
+    spec: ScenarioSpec,
+    key: Tuple[object, ...],
+    seed: int,
+    code: Optional[str] = None,
+    chaos: Optional[Mapping[str, object]] = None,
 ) -> str:
-    """The content address of one (scenario, cell, seed) result."""
-    payload = canonical_json(
-        {
-            "scenario": spec.name,
-            "params": spec.params,
-            "key": list(key),
-            "seed": seed,
-            "code": code if code is not None else code_version(),
-        }
-    )
+    """The content address of one (scenario, cell, seed) result.
+
+    ``chaos`` is the runner's ambient fault-injection options
+    (``{preset, intensity, horizon}``), folded in **only when set**:
+    chaos deterministically changes results, so chaotic and clean runs
+    of the same cell must occupy different cache addresses — while the
+    digests of ordinary runs stay byte-identical to what they were
+    before chaos existed.
+    """
+    body: Dict[str, object] = {
+        "scenario": spec.name,
+        "params": spec.params,
+        "key": list(key),
+        "seed": seed,
+        "code": code if code is not None else code_version(),
+    }
+    if chaos is not None:
+        body["chaos"] = dict(chaos)
+    payload = canonical_json(body)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -3,15 +3,26 @@
 Corrupted pieces, tracker outages, peers vanishing mid-transfer, hosts that
 never come back, zero-capacity links — none of these may wedge a client or
 corrupt its state.
+
+The fault scenarios are driven by :mod:`repro.chaos` schedules — the same
+declarative events the ``--chaos`` presets use — rather than hand-rolled
+``disconnect_host`` choreography, so these tests also pin the controller's
+fault semantics (crash vs blackout vs storm).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bittorrent import ClientConfig
 from repro.bittorrent.swarm import SwarmScenario
-from repro.net.mobility import disconnect_host, reconnect_host
+from repro.chaos import (
+    ChaosSchedule,
+    CorruptionBurst,
+    HandoffStorm,
+    LinkBlackout,
+    PeerCrash,
+    TrackerOutage,
+)
 from repro.tcp import TCPConfig
 
 from tests.helpers import Message, TwoHostNet
@@ -19,10 +30,13 @@ from tests.helpers import Message, TwoHostNet
 
 class TestPieceCorruption:
     def test_download_completes_despite_hash_failures(self):
-        config = ClientConfig(corrupt_probability=0.2)
         sc = SwarmScenario(seed=31, file_size=512 * 1024, piece_length=65_536)
         sc.add_wired_peer("seed", complete=True)
-        leech = sc.add_wired_peer("leech", config=config)
+        leech = sc.add_wired_peer("leech")
+        sc.add_chaos(ChaosSchedule((
+            CorruptionBurst(start=0.5, duration=400.0, target="leech",
+                            probability=0.2),
+        )))
         sc.start_all()
         assert sc.run_until_complete(["leech"], timeout=600)
         assert leech.client.manager.hash_failures > 0
@@ -35,55 +49,90 @@ class TestTrackerOutage:
         sc = SwarmScenario(seed=32, file_size=256 * 1024, piece_length=65_536)
         sc.add_wired_peer("seed", complete=True)
         leech = sc.add_wired_peer("leech")
-        # tracker goes dark before anyone starts
-        disconnect_host(sc.tracker_host, sc.internet, sc.alloc)
+        # tracker goes dark before anyone starts, back at its old address
+        # (a blackout outage restores the metainfo's tracker IP) at t=30
+        sc.add_chaos(ChaosSchedule((
+            TrackerOutage(start=0.0, duration=30.0, mode="blackout"),
+        )))
         sc.start_all()
-        sc.run(until=30.0)
+        sc.run(until=29.0)
         assert not leech.client.complete
         assert leech.client.known_addresses == {}
-        # tracker comes back at its old address
-        reconnect_host(sc.tracker_host, sc.internet, sc.alloc,
-                       ip=sc.torrent.tracker_ip)
         assert sc.run_until_complete(["leech"], timeout=600)
+        assert sc.torrent.tracker_ip == sc.tracker_host.ip
 
     def test_client_survives_tracker_never_returning(self):
         sc = SwarmScenario(seed=33, file_size=256 * 1024, piece_length=65_536)
         leech = sc.add_wired_peer("leech")
-        disconnect_host(sc.tracker_host, sc.internet, sc.alloc)
+        sc.add_chaos(ChaosSchedule((
+            TrackerOutage(start=0.0, duration=500.0, mode="blackout"),
+        )))
         sc.start_all()
         sc.run(until=120.0)  # must not raise or wedge
         assert not leech.client.complete
         assert leech.client.started
 
+    def test_soft_outage_refuses_then_recovers(self):
+        sc = SwarmScenario(seed=39, file_size=256 * 1024, piece_length=65_536,
+                           tracker_interval=10.0)
+        sc.add_wired_peer("seed", complete=True)
+        leech = sc.add_wired_peer("leech")
+        # host stays routable, announces get TrackerError for 40 seconds
+        sc.add_chaos(ChaosSchedule((
+            TrackerOutage(start=0.0, duration=40.0, mode="refuse"),
+        )))
+        sc.start_all()
+        sc.run(until=35.0)
+        assert sc.tracker.refused > 0
+        assert not leech.client.complete
+        assert sc.run_until_complete(["leech"], timeout=600)
+
 
 class TestPeerChurn:
     def test_seed_vanishes_mid_download_other_seed_finishes(self):
         sc = SwarmScenario(seed=34, file_size=1024 * 1024, piece_length=65_536)
-        s1 = sc.add_wired_peer("s1", complete=True, up_rate=60_000)
+        sc.add_wired_peer("s1", complete=True, up_rate=60_000)
         sc.add_wired_peer("s2", complete=True, up_rate=60_000)
         leech = sc.add_wired_peer("leech")
+        # s1 crashes at t=8 and never rejoins (downtime=None)
+        sc.add_chaos(ChaosSchedule((
+            PeerCrash(start=8.0, target="s1"),
+        )))
         sc.start_all()
-        sc.run(until=8.0)
+        sc.run(until=7.5)
         assert 0 < leech.client.progress < 1
-        s1.client.stop()
-        disconnect_host(s1.host, sc.internet, sc.alloc)
         assert sc.run_until_complete(["leech"], timeout=600)
+        assert sc.chaos.faults_injected == 1
 
     def test_all_peers_vanish_then_client_keeps_waiting(self):
-        config = ClientConfig()
         tcp_config = TCPConfig(max_consecutive_timeouts=4, max_rto=2.0)
         sc = SwarmScenario(seed=35, file_size=1024 * 1024, piece_length=65_536,
                            tcp_config=tcp_config)
         seed = sc.add_wired_peer("seed", complete=True)
-        leech = sc.add_wired_peer("leech", config=config)
+        leech = sc.add_wired_peer("leech")
+        sc.add_chaos(ChaosSchedule((
+            PeerCrash(start=5.0, target="seed"),
+        )))
         sc.start_all()
-        sc.run(until=5.0)
-        disconnect_host(seed.host, sc.internet, sc.alloc)
         sc.run(until=120.0)
         # stranded connection died; client still alive and announcing
         assert leech.client.started
         assert not leech.client.complete
         assert all(p.remote_ip != seed.host.ip for p in leech.client.connected_peers())
+
+    def test_crash_with_downtime_rejoins_and_completes(self):
+        sc = SwarmScenario(seed=40, file_size=512 * 1024, piece_length=65_536)
+        sc.add_wired_peer("seed", complete=True)
+        leech = sc.add_wired_peer("leech")
+        # the *leech* dies mid-download and rejoins 10 s later
+        sc.add_chaos(ChaosSchedule((
+            PeerCrash(start=4.0, target="leech", downtime=10.0),
+        )))
+        sc.start_all()
+        sc.run(until=13.0)
+        assert not leech.client.started  # crashed, not yet rejoined
+        assert sc.run_until_complete(["leech"], timeout=600)
+        assert leech.client.started
 
     def test_leech_abort_releases_outstanding_requests(self):
         sc = SwarmScenario(seed=36, file_size=512 * 1024, piece_length=65_536)
@@ -106,13 +155,15 @@ class TestMobileBlackouts:
         sc = SwarmScenario(seed=37, file_size=1024 * 1024, piece_length=65_536)
         sc.add_wired_peer("seed", complete=True)
         mob = sc.add_wireless_peer("mob", rate=150_000)
+        # radio dies at t=6 for 54 s; the client process keeps running
+        sc.add_chaos(ChaosSchedule((
+            LinkBlackout(start=6.0, duration=54.0, target="mob"),
+        )))
         sc.start_all()
-        sc.run(until=6.0)
+        sc.run(until=10.0)
         progress_before = mob.client.progress
-        disconnect_host(mob.host, sc.internet, sc.alloc)
-        sc.run(until=60.0)
+        sc.run(until=59.0)
         assert mob.client.progress == pytest.approx(progress_before, abs=0.05)
-        reconnect_host(mob.host, sc.internet, sc.alloc)
         assert sc.run_until_complete(["mob"], timeout=600)
 
     def test_rapid_flapping_interface(self):
@@ -120,7 +171,12 @@ class TestMobileBlackouts:
         sc = SwarmScenario(seed=38, file_size=512 * 1024, piece_length=65_536)
         sc.add_wired_peer("seed", complete=True)
         mob = sc.add_wireless_peer("mob", rate=200_000)
-        sc.add_mobility(mob, interval=5.0, downtime=0.5)
+        # a storm of forced handoffs against a peer with no mobility
+        # controller exercises the manual disconnect/reconnect path
+        sc.add_chaos(ChaosSchedule((
+            HandoffStorm(start=2.0, target="mob", count=17, spacing=5.0,
+                         downtime=0.5),
+        )))
         sc.start_all()
         sc.run(until=90.0)
         assert mob.client.task_restarts >= 10
