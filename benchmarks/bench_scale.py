@@ -1,0 +1,76 @@
+"""Fluid-tier benchmarks: mean-field cost must not grow with swarm size.
+
+The whole point of :mod:`repro.scale` is that a 10^6-peer swarm costs
+the same as a 10^2-peer one — per class and per time step, never per
+peer.  These benches pin that property (and the ``figx_scale``
+acceptance budget: the full sweep, including the 100k-peer 20%-mobile
+cell, in well under a minute) and attach ``events`` / ``peak_swarm``
+extra-info so ``scripts/run_benchmarks.py`` can consolidate
+events-per-second and swarm-size numbers into ``BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+from repro.scale import FluidParams, FluidSwarm, PeerClass
+
+
+def _params(scale: float) -> FluidParams:
+    return FluidParams(
+        file_size=4 << 20,
+        piece_length=1 << 16,
+        classes=(
+            PeerClass("seeds", 5 * scale, 96_000.0, 1_000_000.0, seed=True),
+            PeerClass("wired", 75 * scale, 48_000.0, 500_000.0),
+            PeerClass("mobile", 20 * scale, 24_000.0, 100_000.0,
+                      mobile=True, wireless_shared=True,
+                      handoff_interval=90.0),
+        ),
+    )
+
+
+def _bench_engine(benchmark, scale: float) -> None:
+    swarms = []
+
+    def run():
+        swarm = FluidSwarm(_params(scale))
+        result = swarm.run()
+        swarms.append((swarm, result))
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    swarm, _ = swarms[-1]
+    assert result.leecher_completion_time() is not None
+    assert swarm.wall_seconds < 60.0
+    benchmark.extra_info["events"] = result.steps
+    benchmark.extra_info["peak_swarm"] = result.peak_population
+    benchmark.extra_info["horizon"] = result.horizon
+
+
+def test_fluid_engine_100_peers(benchmark):
+    """Baseline: a small fluid swarm (100 peers, 3 classes)."""
+    _bench_engine(benchmark, 1.0)
+
+
+def test_fluid_engine_100k_peers(benchmark):
+    """100k peers must integrate as fast as 100 (same classes, same steps)."""
+    _bench_engine(benchmark, 1_000.0)
+
+
+def test_fluid_engine_1m_peers(benchmark):
+    """10^6 peers: the ROADMAP north star, still milliseconds."""
+    _bench_engine(benchmark, 10_000.0)
+
+
+def test_figx_scale_fluid_sweep(benchmark):
+    """The full figx_scale sweep (up to 100k peers, 20% and 50% mobile)
+    on the fluid backend — the acceptance budget is < 60 s."""
+    result = run_figure(benchmark, "figx_scale")
+    benchmark.extra_info["events"] = result.parameters["engine_steps"]
+    benchmark.extra_info["peak_swarm"] = result.parameters["peak_swarm_size"]
+    assert result.parameters["peak_swarm_size"] >= 100_000
+    # wP2P stays ahead of the default client at the headline fraction.
+    default = result.get("Default P2P (20% mobile)")
+    wp2p = result.get("wP2P (20% mobile)")
+    assert all(w < d for w, d in zip(wp2p.y, default.y))

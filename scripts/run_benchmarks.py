@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Execute the ``benchmarks/`` suite and consolidate ``BENCH_scale.json``.
+
+Drives pytest-benchmark over the benchmark suite (every figure
+reproduction plus the fluid-tier benches) and distils its verbose JSON
+into one small report at the repo root: per-benchmark wall-clock,
+events per second (simulation events for packet figures, integration
+steps for fluid ones — whatever the bench attached as ``events``), and
+the peak swarm size exercised.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_benchmarks.py                 # full suite
+    PYTHONPATH=src python scripts/run_benchmarks.py -k scale        # fluid tier only
+    PYTHONPATH=src python scripts/run_benchmarks.py --jobs 4 -o /tmp/bench.json
+
+The consolidated format is stable (sorted keys, one entry per bench),
+so CI can archive ``BENCH_scale.json`` as an artifact and runs stay
+diffable across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def consolidate(raw: dict) -> dict:
+    """Distil a pytest-benchmark JSON blob into the BENCH_scale schema."""
+    entries = []
+    for bench in raw.get("benchmarks", []):
+        wall = bench["stats"]["mean"]
+        extra = bench.get("extra_info", {}) or {}
+        events = extra.get("events")
+        entries.append({
+            "name": bench["name"],
+            "group": bench.get("group"),
+            "wall_seconds": wall,
+            "events": events,
+            "events_per_sec": (events / wall) if events and wall > 0 else None,
+            "peak_swarm": extra.get("peak_swarm"),
+            "figure": extra.get("figure"),
+        })
+    entries.sort(key=lambda e: e["name"])
+    return {
+        "machine_info": {
+            k: raw.get("machine_info", {}).get(k)
+            for k in ("python_version", "cpu", "system")
+        },
+        "benchmarks": entries,
+        "total_wall_seconds": sum(e["wall_seconds"] for e in entries),
+        "peak_swarm_size": max(
+            (e["peak_swarm"] for e in entries if e["peak_swarm"]), default=0,
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the benchmark suite, consolidate BENCH_scale.json")
+    parser.add_argument("-k", dest="select", default=None,
+                        help="pytest -k expression to select benchmarks")
+    parser.add_argument("-o", "--output",
+                        default=os.path.join(REPO_ROOT, "BENCH_scale.json"),
+                        help="consolidated report path (default: repo root)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="REPRO_BENCH_JOBS for the figure campaigns")
+    parser.add_argument("--pytest-args", nargs=argparse.REMAINDER, default=[],
+                        help="extra args passed through to pytest")
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    env["REPRO_BENCH_JOBS"] = str(args.jobs)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = os.path.join(tmp, "bench.json")
+        cmd = [
+            sys.executable, "-m", "pytest",
+            os.path.join(REPO_ROOT, "benchmarks"),
+            "-q", "--benchmark-disable-gc",
+            f"--benchmark-json={raw_path}",
+        ]
+        if args.select:
+            cmd += ["-k", args.select]
+        cmd += args.pytest_args
+        proc = subprocess.run(cmd, env=env, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            print("benchmark suite failed; no report written", file=sys.stderr)
+            return proc.returncode
+        with open(raw_path) as handle:
+            raw = json.load(handle)
+
+    report = consolidate(raw)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"\nwrote {args.output}")
+    for entry in report["benchmarks"]:
+        eps = entry["events_per_sec"]
+        print(f"  {entry['name']:<42} {entry['wall_seconds']*1000:>9.1f} ms"
+              + (f"  {eps:>12,.0f} ev/s" if eps else "")
+              + (f"  peak {entry['peak_swarm']:>9,.0f}"
+                 if entry["peak_swarm"] else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Cross-validate the fluid swarm tier against the packet simulator.
+
+Runs every matched scenario in :data:`repro.scale.validate.MATCHED_SCENARIOS`
+on both backends and checks the fluid model tracks packet-level
+completion time and mean goodput within the tolerance.  Exits non-zero
+on any miss, so CI catches calibration drift the moment the packet
+simulator's dynamics change.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_scale.py
+    PYTHONPATH=src python scripts/validate_scale.py --tolerance 0.10 --json
+    PYTHONPATH=src python scripts/validate_scale.py --scenario mobile_wp2p
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scale.validate import (
+    DEFAULT_TOLERANCE,
+    MATCHED_SCENARIOS,
+    cross_validate,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fluid-vs-packet cross-validation gate")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"max relative error (default {DEFAULT_TOLERANCE:g})")
+    parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        choices=[ms.name for ms in MATCHED_SCENARIOS],
+        help="restrict to one matched scenario (repeatable; default: all)")
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None, metavar="SEED",
+        help="packet-simulator seeds to average (default: the standing set)")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON")
+    args = parser.parse_args(argv)
+
+    scenarios = None
+    if args.scenario:
+        scenarios = [ms for ms in MATCHED_SCENARIOS if ms.name in args.scenario]
+    kwargs = {"tolerance": args.tolerance}
+    if scenarios is not None:
+        kwargs["scenarios"] = scenarios
+    if args.seeds is not None:
+        kwargs["seeds"] = args.seeds
+    report = cross_validate(**kwargs)
+
+    if args.json:
+        print(json.dumps(report.to_jsonable(), indent=2, sort_keys=True))
+    else:
+        print(report.table())
+        print()
+        print("PASSED" if report.passed else "FAILED",
+              f"({len(report.rows)} comparisons, "
+              f"tolerance {args.tolerance:.0%})")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,33 +6,48 @@ from typing import Iterable, Iterator, List
 
 
 class Bitfield:
-    """A fixed-size set of piece indices with protocol wire sizing."""
+    """A fixed-size set of piece indices with protocol wire sizing.
 
-    __slots__ = ("size", "_bits")
+    A set-bit counter is maintained incrementally by :meth:`set` /
+    :meth:`clear`, so :meth:`count` — and therefore :attr:`complete`,
+    which sits on the availability/interest hot path — is O(1) instead
+    of a per-byte popcount over the whole field.
+    """
+
+    __slots__ = ("size", "_bits", "_num_set")
 
     def __init__(self, size: int, have: Iterable[int] = ()) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
         self.size = size
         self._bits = bytearray((size + 7) // 8)
+        self._num_set = 0
         for index in have:
             self.set(index)
 
     @classmethod
     def full(cls, size: int) -> "Bitfield":
         bf = cls(size)
-        for i in range(size):
-            bf.set(i)
+        bf._bits[:-1] = b"\xff" * (len(bf._bits) - 1)
+        tail = size & 7
+        bf._bits[-1] = 0xFF if tail == 0 else (0xFF00 >> tail) & 0xFF
+        bf._num_set = size
         return bf
 
     # ------------------------------------------------------------------
     def set(self, index: int) -> None:
         self._check(index)
-        self._bits[index >> 3] |= 0x80 >> (index & 7)
+        mask = 0x80 >> (index & 7)
+        if not self._bits[index >> 3] & mask:
+            self._bits[index >> 3] |= mask
+            self._num_set += 1
 
     def clear(self, index: int) -> None:
         self._check(index)
-        self._bits[index >> 3] &= ~(0x80 >> (index & 7)) & 0xFF
+        mask = 0x80 >> (index & 7)
+        if self._bits[index >> 3] & mask:
+            self._bits[index >> 3] &= ~mask & 0xFF
+            self._num_set -= 1
 
     def has(self, index: int) -> bool:
         self._check(index)
@@ -42,15 +57,15 @@ class Bitfield:
         return 0 <= index < self.size and self.has(index)
 
     def count(self) -> int:
-        return sum(bin(b).count("1") for b in self._bits)
+        return self._num_set
 
     @property
     def complete(self) -> bool:
-        return self.count() == self.size
+        return self._num_set == self.size
 
     @property
     def empty(self) -> bool:
-        return all(b == 0 for b in self._bits)
+        return self._num_set == 0
 
     def indices(self) -> Iterator[int]:
         for i in range(self.size):
@@ -65,18 +80,23 @@ class Bitfield:
     def copy(self) -> "Bitfield":
         bf = Bitfield(self.size)
         bf._bits[:] = self._bits
+        bf._num_set = self._num_set
         return bf
 
     def intersection_count(self, other: "Bitfield") -> int:
         if other.size != self.size:
             raise ValueError("bitfield size mismatch")
-        return sum(bin(a & b).count("1") for a, b in zip(self._bits, other._bits))
+        a = int.from_bytes(self._bits, "big")
+        b = int.from_bytes(other._bits, "big")
+        return (a & b).bit_count()
 
     def has_piece_other_is_missing(self, other: "Bitfield") -> bool:
         """True if we hold any piece ``other`` lacks (interest test)."""
         if other.size != self.size:
             raise ValueError("bitfield size mismatch")
-        return any(a & ~b & 0xFF for a, b in zip(self._bits, other._bits))
+        a = int.from_bytes(self._bits, "big")
+        b = int.from_bytes(other._bits, "big")
+        return bool(a & ~b)
 
     @property
     def wire_bytes(self) -> int:

@@ -43,6 +43,7 @@ from .fig4_mobility import fig4a, fig4bc, playability_run
 from .fig8_wp2p import am_only_config, fig8a, fig8b, fig8c, ia_config
 from .fig9_wp2p import fig9ab, fig9c, mf_only_config, rr_only_config
 from .figx_chaos import chaos_run, figx_chaos
+from .figx_scale import figx_scale, fluid_cell, packet_cell
 
 __all__ = [
     "BulkSender",
@@ -74,4 +75,7 @@ __all__ = [
     "rr_only_config",
     "chaos_run",
     "figx_chaos",
+    "figx_scale",
+    "fluid_cell",
+    "packet_cell",
 ]

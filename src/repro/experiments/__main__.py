@@ -31,6 +31,7 @@ from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from ..runner import (
+    BACKENDS,
     Runner,
     ResultCache,
     UnknownScenarioError,
@@ -46,16 +47,24 @@ from ..runner import (
 ALL_ORDER: List[str] = [
     "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
     "fig8a", "fig8b", "fig8c", "fig9c", "fig4bc", "fig9ab",
-    "figx_chaos",
+    "figx_chaos", "figx_scale",
 ]
 
 
 def _overrides_for(name: str, num_pieces: Optional[int],
-                   sets: Optional[Dict[str, object]] = None) -> Dict[str, object]:
-    """Merge --num-pieces / --set into overrides this scenario accepts."""
+                   sets: Optional[Dict[str, object]] = None,
+                   swarm_size: Optional[int] = None) -> Dict[str, object]:
+    """Merge --num-pieces / --swarm-size / --set into accepted overrides."""
     overrides: Dict[str, object] = dict(sets or {})
-    if num_pieces is not None and "num_pieces" in get_scenario(name).defaults:
+    defaults = get_scenario(name).defaults
+    if num_pieces is not None and "num_pieces" in defaults:
         overrides.setdefault("num_pieces", num_pieces)
+    if swarm_size is not None:
+        # figx_scale sweeps a list of sizes; a single --swarm-size pins it.
+        if "swarm_sizes" in defaults:
+            overrides.setdefault("swarm_sizes", [swarm_size])
+        elif "swarm_size" in defaults:
+            overrides.setdefault("swarm_size", swarm_size)
     return overrides
 
 
@@ -116,6 +125,7 @@ def _result_payload(run) -> Dict[str, object]:
     payload = asdict(run.result)
     payload["scenario"] = run.spec.name
     payload["spec_hash"] = run.spec.spec_hash()
+    payload["backend"] = run.spec.backend
     payload["stats"] = {
         "total_cells": run.stats.total_cells,
         "executed": run.stats.executed,
@@ -167,6 +177,7 @@ def _cmd_run(args) -> None:
             cell_timeout=args.cell_timeout, chaos=args.chaos,
             chaos_intensity=args.chaos_intensity,
             chaos_horizon=args.chaos_horizon,
+            backend=args.backend,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
@@ -177,7 +188,14 @@ def _cmd_run(args) -> None:
         payloads = []
         for name in names:
             start = time.time()
-            run = runner.run(name, _overrides_for(name, args.num_pieces, sets))
+            try:
+                run = runner.run(
+                    name,
+                    _overrides_for(name, args.num_pieces, sets,
+                                   swarm_size=args.swarm_size),
+                )
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}") from None
             failed_cells += len(run.failures)
             if args.json:
                 payloads.append(_result_payload(run))
@@ -232,6 +250,14 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="suppress per-cell progress lines on stderr")
     parser.add_argument("--num-pieces", type=int, default=None,
                         help="piece count for fig4bc/fig9ab (20 or 400)")
+    parser.add_argument("--backend", choices=list(BACKENDS), default=None,
+                        help="simulation tier: 'packet' (event-level ground "
+                             "truth) or 'fluid' (repro.scale mean-field "
+                             "engine for very large swarms); default: the "
+                             "scenario's preferred backend")
+    parser.add_argument("--swarm-size", type=int, default=None, metavar="N",
+                        help="pin the swarm size for scenarios that sweep it "
+                             "(figx_scale: replaces the size grid with [N])")
     parser.add_argument("--chart", action="store_true",
                         help="also render an ASCII chart of the series")
     parser.add_argument("--trace", metavar="PATH", default=None,

@@ -47,9 +47,10 @@ from .runner import (
     print_progress,
     run_scenario,
 )
-from .spec import ScenarioSpec, canonical_json, code_version, freeze_params
+from .spec import BACKENDS, ScenarioSpec, canonical_json, code_version, freeze_params
 
 __all__ = [
+    "BACKENDS",
     "CellFailure",
     "CellTimeout",
     "ResultCache",

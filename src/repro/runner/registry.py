@@ -56,6 +56,10 @@ class Scenario:
     name: str = ""
     description: str = ""
     defaults: Mapping[str, object] = {}
+    #: Simulation backends this scenario supports, most-preferred first;
+    #: the first entry is the default when the runner is not given one.
+    #: Scenarios offering ``"fluid"`` implement :meth:`run_cell_fluid`.
+    backends: Tuple[str, ...] = ("packet",)
 
     # ------------------------------------------------------------------
     # Parameters and spec construction
@@ -73,13 +77,33 @@ class Scenario:
             merged.update(overrides)
         return freeze_params(merged)
 
-    def spec(self, overrides: Optional[Mapping[str, object]] = None) -> ScenarioSpec:
-        """A :class:`ScenarioSpec` for this scenario at the given params."""
+    def spec(
+        self,
+        overrides: Optional[Mapping[str, object]] = None,
+        backend: Optional[str] = None,
+    ) -> ScenarioSpec:
+        """A :class:`ScenarioSpec` for this scenario at the given params.
+
+        ``backend=None`` selects the scenario's default (the first entry
+        of :attr:`backends`).
+        """
         params = self.params(overrides)
         seeds = sorted({seed for _, seed in self.cells(params)})
         return ScenarioSpec.create(
-            self.name, params, seeds=seeds, description=self.description
+            self.name, params, seeds=seeds, description=self.description,
+            backend=self.resolve_backend(backend),
         )
+
+    def resolve_backend(self, backend: Optional[str]) -> str:
+        """Validate ``backend`` against :attr:`backends` (None = default)."""
+        if backend is None:
+            return self.backends[0]
+        if backend not in self.backends:
+            raise ValueError(
+                f"scenario {self.name!r} does not support backend "
+                f"{backend!r} (supported: {', '.join(self.backends)})"
+            )
+        return backend
 
     # ------------------------------------------------------------------
     # The three hooks every scenario implements
@@ -91,6 +115,20 @@ class Scenario:
     def run_cell(self, key: CellKey, seed: int, params: Mapping[str, object]) -> object:
         """Run one cell (one seeded simulation); return plain data."""
         raise NotImplementedError
+
+    def run_cell_fluid(
+        self, key: CellKey, seed: int, params: Mapping[str, object]
+    ) -> object:
+        """Run one cell on the mean-field fluid backend (:mod:`repro.scale`).
+
+        Only scenarios listing ``"fluid"`` in :attr:`backends` implement
+        this; the result must be plain data of the same shape
+        :meth:`run_cell` returns so :meth:`assemble` works unchanged.
+        """
+        raise NotImplementedError(
+            f"scenario {self.name!r} has no fluid backend "
+            f"(supported: {', '.join(self.backends)})"
+        )
 
     def assemble(
         self,

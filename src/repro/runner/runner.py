@@ -142,7 +142,7 @@ def _canonical_value(value: object) -> object:
 def _execute_cell(
     payload: Tuple[
         str, str, list, int, Mapping[str, object], int, bool,
-        Optional[float], Optional[Mapping[str, object]],
+        Optional[float], Optional[Mapping[str, object]], str,
     ]
 ):
     """Worker entry point: run one cell, retrying once on failure.
@@ -161,10 +161,11 @@ def _execute_cell(
     """
     (
         module_name, scenario_name, key_list, seed, params, retries,
-        audit_on, cell_timeout, chaos_options,
+        audit_on, cell_timeout, chaos_options, backend,
     ) = payload
     importlib.import_module(module_name)
     scn = get_scenario(scenario_name)
+    run_cell = scn.run_cell if backend == "packet" else scn.run_cell_fluid
     key = tuple(key_list)
     attempts = 0
     start = time.perf_counter()
@@ -185,7 +186,7 @@ def _execute_cell(
             attempts += 1
             try:
                 with _cell_deadline(cell_timeout):
-                    value = scn.run_cell(key, seed, params)
+                    value = run_cell(key, seed, params)
             except CellTimeout:
                 return (
                     key_list, seed, False, traceback.format_exc(),
@@ -245,6 +246,7 @@ class Runner:
         chaos: Optional[str] = None,
         chaos_intensity: float = 1.0,
         chaos_horizon: float = 300.0,
+        backend: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -261,6 +263,9 @@ class Runner:
         self.retries = retries
         self.progress = progress
         self.cell_timeout = cell_timeout
+        # None = per-scenario default (first entry of Scenario.backends);
+        # resolved and validated against the scenario inside run().
+        self.backend = backend
         self.chaos_options: Optional[Dict[str, object]] = None
         if chaos is not None:
             from ..chaos import preset_schedule
@@ -290,11 +295,13 @@ class Runner:
             else get_scenario(name_or_scenario)
         )
         params = scn.params(overrides)
+        backend = scn.resolve_backend(self.backend)
         cells: List[Cell] = [(tuple(key), seed) for key, seed in scn.cells(params)]
         spec = ScenarioSpec.create(
             scn.name, params,
             seeds=sorted({seed for _, seed in cells}),
             description=scn.description,
+            backend=backend,
         )
 
         start = time.perf_counter()
@@ -329,7 +336,7 @@ class Runner:
         payloads = [
             (
                 module_name, scn.name, list(key), seed, params, self.retries,
-                self.audit, self.cell_timeout, self.chaos_options,
+                self.audit, self.cell_timeout, self.chaos_options, backend,
             )
             for key, seed in pending
         ]
@@ -414,6 +421,7 @@ def run_scenario(
     chaos: Optional[str] = None,
     chaos_intensity: float = 1.0,
     chaos_horizon: float = 300.0,
+    backend: Optional[str] = None,
 ):
     """Run a registered scenario and return its ``ExperimentResult``.
 
@@ -425,5 +433,6 @@ def run_scenario(
         jobs=jobs, cache=cache, progress=progress, audit=audit,
         cell_timeout=cell_timeout, chaos=chaos,
         chaos_intensity=chaos_intensity, chaos_horizon=chaos_horizon,
+        backend=backend,
     )
     return runner.run(name, overrides).result

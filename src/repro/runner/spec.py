@@ -19,6 +19,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+#: The simulation backends a scenario can run on.  ``"packet"`` is the
+#: packet-level discrete-event simulator (the ground truth); ``"fluid"``
+#: is the :mod:`repro.scale` mean-field engine for very large swarms.
+BACKENDS: Tuple[str, ...] = ("packet", "fluid")
+
 
 def canonical_json(value: object) -> str:
     """Canonical JSON text for ``value`` (sorted keys, no whitespace).
@@ -52,12 +57,19 @@ class ScenarioSpec:
     Hashable and comparable by value; ``params_json`` (not the mapping
     itself) carries the parameter identity so the dataclass stays
     frozen/hashable while :attr:`params` offers the convenient dict view.
+
+    ``backend`` names the simulation tier the cells run on (see
+    :data:`BACKENDS`).  The default ``"packet"`` keeps pre-backend spec
+    hashes and cell digests byte-identical, while any other backend is
+    folded into both — fluid results can never collide with (or shadow)
+    packet-level ground truth in the cache.
     """
 
     name: str
     params_json: str
     seeds: Tuple[int, ...] = ()
     description: str = field(default="", compare=False)
+    backend: str = "packet"
 
     @classmethod
     def create(
@@ -66,12 +78,18 @@ class ScenarioSpec:
         params: Optional[Mapping[str, object]] = None,
         seeds: Sequence[int] = (),
         description: str = "",
+        backend: str = "packet",
     ) -> "ScenarioSpec":
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}"
+            )
         return cls(
             name=name,
             params_json=canonical_json(dict(params or {})),
             seeds=tuple(int(s) for s in seeds),
             description=description,
+            backend=backend,
         )
 
     @property
@@ -80,10 +98,18 @@ class ScenarioSpec:
         return json.loads(self.params_json)
 
     def spec_hash(self) -> str:
-        """Content hash of the spec itself (name + params + seeds)."""
-        payload = canonical_json(
-            {"name": self.name, "params": self.params, "seeds": list(self.seeds)}
-        )
+        """Content hash of the spec itself (name + params + seeds).
+
+        The backend is folded in only when it is not ``"packet"``, so
+        hashes of ordinary packet-level specs are unchanged from before
+        the backend axis existed.
+        """
+        body: Dict[str, object] = {
+            "name": self.name, "params": self.params, "seeds": list(self.seeds)
+        }
+        if self.backend != "packet":
+            body["backend"] = self.backend
+        payload = canonical_json(body)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def __str__(self) -> str:
@@ -131,7 +157,9 @@ def cell_digest(
     chaos deterministically changes results, so chaotic and clean runs
     of the same cell must occupy different cache addresses — while the
     digests of ordinary runs stay byte-identical to what they were
-    before chaos existed.
+    before chaos existed.  The spec's backend is folded in the same way
+    (only when not ``"packet"``), so fluid-backend results live at
+    digests disjoint from every packet-level run.
     """
     body: Dict[str, object] = {
         "scenario": spec.name,
@@ -140,6 +168,8 @@ def cell_digest(
         "seed": seed,
         "code": code if code is not None else code_version(),
     }
+    if spec.backend != "packet":
+        body["backend"] = spec.backend
     if chaos is not None:
         body["chaos"] = dict(chaos)
     payload = canonical_json(body)

@@ -1,0 +1,185 @@
+"""Mapping :mod:`repro.chaos` fault schedules onto fluid rate parameters.
+
+The packet-level simulator injects faults as discrete events against
+individual hosts and links; the fluid engine has no hosts — only
+per-class *rates*.  This module translates a
+:class:`~repro.chaos.ChaosSchedule` into the two things a mean-field
+model can consume:
+
+* :class:`RateWindow` — a time interval during which a class's rates are
+  scaled (availability, upload/download capacity, goodput efficiency)
+  and/or population flows change (churn departure + rejoin rates,
+  rejoin freezes during tracker outages, extra handoff pressure);
+* :class:`CrashImpulse` — an instantaneous knock-out of the matching
+  online population, rejoining after ``downtime`` (or never).
+
+The translation is a **pure function** of the schedule — no randomness,
+no clock — mirroring the purity contract of
+:func:`repro.chaos.preset_schedule`, so a ``(preset, intensity)`` pair
+keys fluid results in the cache exactly as it keys packet-level ones.
+Poisson churn, drawn peer-by-peer at arm time in the packet simulator,
+becomes its own mean: a deterministic departure *rate* over the churn
+window — which is precisely the mean-field limit of the same process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..chaos.schedule import (
+    ChaosSchedule,
+    CorruptionBurst,
+    HandoffStorm,
+    LinkBlackout,
+    LinkDegradation,
+    PeerChurn,
+    PeerCrash,
+    TrackerOutage,
+)
+from .model import PeerClass
+
+
+def class_matches(cls: PeerClass, target: str) -> bool:
+    """Does the chaos ``target`` selector apply to this peer class?
+
+    Mirrors the packet-level controller's fire-time semantics: ``"*"``
+    matches everyone, ``"wired"`` the fixed classes, ``"wireless"`` and
+    ``"mobile"`` the mobile ones, anything else is an exact class name.
+    """
+    if target == "*":
+        return True
+    if target == "wired":
+        return not cls.mobile
+    if target in ("wireless", "mobile"):
+        return cls.mobile
+    return cls.name == target
+
+
+@dataclass(frozen=True)
+class RateWindow:
+    """One interval of modified class rates, ``[start, end)``."""
+
+    start: float
+    end: float
+    target: str = "*"
+    availability_factor: float = 1.0
+    upload_factor: float = 1.0
+    download_factor: float = 1.0
+    efficiency_factor: float = 1.0
+    #: Extra per-online-peer departure rate (1/s) — Poisson churn's mean.
+    departure_rate: float = 0.0
+    #: Rejoin rate (1/s) for the churned-offline pool this window feeds.
+    rejoin_rate: float = 0.0
+    #: Tracker outage: offline peers cannot re-announce, so rejoins stall.
+    freeze_rejoin: bool = False
+    #: Additional forced handoffs per second (storm pressure).
+    extra_handoff_rate: float = 0.0
+    #: Interface downtime per forced handoff, seconds.
+    extra_handoff_downtime: float = 0.0
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class CrashImpulse:
+    """Instantaneous crash of the matching online population at ``t``.
+
+    ``downtime=None`` means the peers never rejoin (population loss);
+    otherwise they drain back online at rate ``1/downtime``.
+    """
+
+    t: float
+    target: str = "*"
+    downtime: float = 0.0
+    permanent: bool = False
+
+
+def schedule_modifiers(
+    schedule: ChaosSchedule,
+) -> Tuple[Tuple[RateWindow, ...], Tuple[CrashImpulse, ...]]:
+    """Translate ``schedule`` into fluid rate windows and crash impulses.
+
+    Every :mod:`repro.chaos` event kind maps onto the rate axis it
+    perturbs in the mean-field model:
+
+    ===================  ===============================================
+    ``peer_churn``        departure rate (= rate/60 per peer/s) + rejoin
+    ``peer_crash``        crash impulse (rejoin after downtime, or never)
+    ``tracker_outage``    rejoin freeze (offline peers cannot re-announce)
+    ``link_blackout``     availability 0 for the targeted classes
+    ``link_degradation``  capacity factors; BER folds into efficiency
+    ``handoff_storm``     extra handoff rate over the storm span
+    ``corruption_burst``  goodput efficiency (corrupt pieces re-fetched)
+    ===================  ===============================================
+    """
+    windows: List[RateWindow] = []
+    impulses: List[CrashImpulse] = []
+    for event in schedule:
+        if isinstance(event, PeerChurn):
+            if event.duration > 0 and event.rate_per_min > 0:
+                windows.append(RateWindow(
+                    start=event.start,
+                    end=event.start + event.duration,
+                    target=event.target,
+                    departure_rate=event.rate_per_min / 60.0,
+                    rejoin_rate=(1.0 / event.downtime) if event.downtime > 0 else 0.0,
+                ))
+        elif isinstance(event, PeerCrash):
+            impulses.append(CrashImpulse(
+                t=event.start,
+                target=event.target,
+                downtime=event.downtime or 0.0,
+                permanent=event.downtime is None,
+            ))
+        elif isinstance(event, TrackerOutage):
+            windows.append(RateWindow(
+                start=event.start,
+                end=event.start + event.duration,
+                target="*",
+                freeze_rejoin=True,
+            ))
+        elif isinstance(event, LinkBlackout):
+            windows.append(RateWindow(
+                start=event.start,
+                end=event.start + event.duration,
+                target=event.target,
+                availability_factor=0.0,
+            ))
+        elif isinstance(event, LinkDegradation):
+            # A bit-error rate turns into lost goodput: every corrupted
+            # packet is retransmitted, so efficiency scales with the
+            # packet survival probability at a nominal 1500 B frame.
+            ber_factor = 1.0
+            if event.ber:
+                ber_factor = max(0.0, (1.0 - event.ber) ** (1500 * 8))
+            windows.append(RateWindow(
+                start=event.start,
+                end=event.start + event.duration,
+                target=event.target,
+                upload_factor=event.rate_factor,
+                download_factor=event.rate_factor,
+                efficiency_factor=ber_factor,
+            ))
+        elif isinstance(event, HandoffStorm):
+            span = event.count * event.spacing
+            windows.append(RateWindow(
+                start=event.start,
+                end=event.start + span,
+                target=event.target,
+                extra_handoff_rate=1.0 / event.spacing,
+                extra_handoff_downtime=event.downtime,
+            ))
+        elif isinstance(event, CorruptionBurst):
+            windows.append(RateWindow(
+                start=event.start,
+                end=event.start + event.duration,
+                target=event.target,
+                efficiency_factor=1.0 - event.probability,
+            ))
+        # Unknown event kinds are ignored: the fluid tier models what it
+        # can and leaves the rest to the packet-level ground truth.
+    windows.sort(key=lambda w: (w.start, w.end, w.target))
+    impulses.sort(key=lambda i: (i.t, i.target))
+    return tuple(windows), tuple(impulses)

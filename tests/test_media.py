@@ -87,3 +87,63 @@ class TestCurve:
 
     def test_average_no_curves(self):
         assert average_curves([], [0.0, 100.0]) == [(0.0, 0.0), (100.0, 0.0)]
+
+
+class TestEdgeCases:
+    """Degenerate inputs: empty/tiny files, extreme orders, off-grid queries."""
+
+    def test_empty_file_is_rejected_at_the_source(self):
+        # A zero-byte torrent has no pieces and no meaningful playable
+        # fraction; the metainfo layer refuses to construct one, which
+        # is the contract every playability function relies on.
+        with pytest.raises(ValueError, match="total_size"):
+            make_torrent("empty", total_size=0, piece_length=65_536)
+
+    def test_empty_completion_order(self):
+        # Nothing downloaded yet: the curve is the single origin point
+        # and interpolation anywhere reads 0.
+        t = torrent(4)
+        curve = playability_curve(t, [])
+        assert curve == [(0.0, 0.0)]
+        assert playable_percentage_at(curve, 0.0) == 0.0
+        assert playable_percentage_at(curve, 100.0) == 0.0
+
+    def test_single_piece_file_is_all_or_nothing(self):
+        t = make_torrent("tiny", total_size=100, piece_length=65_536)
+        assert t.num_pieces == 1
+        assert playable_fraction(t, Bitfield(1)) == 0.0
+        assert playable_fraction(t, Bitfield.full(1)) == 1.0
+        curve = playability_curve(t, [0])
+        assert curve == [(0.0, 0.0), (100.0, 100.0)]
+
+    def test_fully_sequential_vs_fully_random_order(self):
+        t = torrent(16)
+        sequential = playability_curve(t, list(range(16)))
+        # "Random" in the worst rarest-first sense: piece 0 arrives last,
+        # so nothing is playable until the download completes.
+        scattered = playability_curve(
+            t, [9, 3, 14, 7, 1, 12, 5, 11, 2, 15, 8, 4, 13, 6, 10, 0])
+        for down, play in sequential:
+            assert play == pytest.approx(down)
+        assert all(play == 0.0 for _, play in scattered[:-1])
+        assert scattered[-1] == (100.0, 100.0)
+        # At every sampled grid point the sequential order dominates.
+        for g in (25.0, 50.0, 75.0, 99.0):
+            assert (playable_percentage_at(sequential, g)
+                    >= playable_percentage_at(scattered, g))
+
+    def test_interpolation_outside_the_sampled_grid(self):
+        t = torrent(4)
+        curve = playability_curve(t, [0, 1, 2, 3])
+        # Below the first sample (even negative): nothing is playable.
+        assert playable_percentage_at(curve, -10.0) == 0.0
+        # Beyond the last sample: clamps to the final playable value.
+        assert playable_percentage_at(curve, 150.0) == 100.0
+        partial = playability_curve(t, [0, 1])  # stops at 50 % downloaded
+        assert playable_percentage_at(partial, 99.0) == pytest.approx(50.0)
+
+    def test_average_curves_on_an_off_grid(self):
+        t = torrent(2)
+        curve = playability_curve(t, [0, 1])
+        avg = average_curves([curve], [-5.0, 150.0])
+        assert avg == [(-5.0, 0.0), (150.0, pytest.approx(100.0))]
