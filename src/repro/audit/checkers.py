@@ -117,11 +117,17 @@ def check_channel(ch) -> Iterator[str]:
             f"channel {ch.name}: idle with {pending} dequeued bytes "
             f"neither delivered nor recorded lost"
         )
-    depth = uq.depth_packets + dq.depth_packets
-    if len(ch._arrival) != depth:
+    if len(ch._up_order) != uq.depth_packets:
         yield (
-            f"channel {ch.name}: arrival map holds {len(ch._arrival)} "
-            f"entries but {depth} packets are queued (leak or loss)"
+            f"channel {ch.name}: uplink arrival order holds "
+            f"{len(ch._up_order)} tickets but {uq.depth_packets} packets "
+            f"are queued (leak or loss)"
+        )
+    if len(ch._down_order) != dq.depth_packets:
+        yield (
+            f"channel {ch.name}: downlink arrival order holds "
+            f"{len(ch._down_order)} tickets but {dq.depth_packets} packets "
+            f"are queued (leak or loss)"
         )
 
 

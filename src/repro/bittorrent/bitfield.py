@@ -35,23 +35,29 @@ class Bitfield:
         return bf
 
     # ------------------------------------------------------------------
+    # set/has/clear sit on the piece-selection hot path (hundreds of
+    # thousands of calls per packet-level run), so the bounds check is
+    # inlined rather than delegated to _check().
     def set(self, index: int) -> None:
-        self._check(index)
+        if index < 0 or index >= self.size:
+            raise IndexError(f"piece index {index} out of range (size {self.size})")
         mask = 0x80 >> (index & 7)
         if not self._bits[index >> 3] & mask:
             self._bits[index >> 3] |= mask
             self._num_set += 1
 
     def clear(self, index: int) -> None:
-        self._check(index)
+        if index < 0 or index >= self.size:
+            raise IndexError(f"piece index {index} out of range (size {self.size})")
         mask = 0x80 >> (index & 7)
         if self._bits[index >> 3] & mask:
             self._bits[index >> 3] &= ~mask & 0xFF
             self._num_set -= 1
 
     def has(self, index: int) -> bool:
-        self._check(index)
-        return bool(self._bits[index >> 3] & (0x80 >> (index & 7)))
+        if index < 0 or index >= self.size:
+            raise IndexError(f"piece index {index} out of range (size {self.size})")
+        return (self._bits[index >> 3] & (0x80 >> (index & 7))) != 0
 
     def __contains__(self, index: int) -> bool:
         return 0 <= index < self.size and self.has(index)
@@ -68,13 +74,15 @@ class Bitfield:
         return self._num_set == 0
 
     def indices(self) -> Iterator[int]:
+        bits = self._bits
         for i in range(self.size):
-            if self.has(i):
+            if bits[i >> 3] & (0x80 >> (i & 7)):
                 yield i
 
     def missing(self) -> Iterator[int]:
+        bits = self._bits
         for i in range(self.size):
-            if not self.has(i):
+            if not bits[i >> 3] & (0x80 >> (i & 7)):
                 yield i
 
     def copy(self) -> "Bitfield":

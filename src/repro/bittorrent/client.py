@@ -553,7 +553,8 @@ class BitTorrentClient:
             if peer.closed or peer.am_choking:
                 queue.popleft()
                 continue
-            if peer.tcp.send_buffer_bytes >= self.config.send_buffer_cap:
+            snd = peer.tcp.snd
+            if snd.end - snd.una >= self.config.send_buffer_cap:  # send_buffer_bytes, inlined
                 queue.rotate(-1)
                 rotations += 1
                 if rotations >= len(queue):

@@ -88,7 +88,7 @@ class TokenBucket:
         return deficit / self.rate
 
     def _refill(self) -> None:
-        now = self.sim.now
+        now = self.sim._now
         if self.rate:
             self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
         self._last = now

@@ -111,13 +111,18 @@ class Host:
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Transmit ``packet`` through egress filters and the interface."""
-        if self.ip is None:
+        interface = self.interface
+        if not interface.up or interface.ip is None:  # self.ip, inlined
             self.drops.append(
                 DropRecord(self.sim.now, self.name, "interface_down", packet.size_bytes)
             )
             return
-        for out in self.netfilter.egress.apply(packet):
-            self.interface.transmit(out)
+        egress = self.netfilter.egress
+        if not egress._filters:  # empty chain: skip the stream machinery
+            interface.transmit(packet)
+            return
+        for out in egress.apply(packet):
+            interface.transmit(out)
 
     def deliver(self, packet: Packet) -> None:
         """Run ingress filters and hand survivors to the transport layer."""
@@ -126,7 +131,11 @@ class Host:
                 DropRecord(self.sim.now, self.name, "no_transport", packet.size_bytes)
             )
             return
-        for pkt in self.netfilter.ingress.apply(packet):
+        ingress = self.netfilter.ingress
+        if not ingress._filters:  # empty chain: skip the stream machinery
+            self.transport.receive(packet)
+            return
+        for pkt in ingress.apply(packet):
             self.transport.receive(pkt)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

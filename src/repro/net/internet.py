@@ -67,7 +67,10 @@ class Internet:
         packet.hops += 1
         self.packets_forwarded += 1
         if self.core_delay > 0:
-            self.sim.schedule(self.core_delay, attachment.deliver_from_core, packet)
+            # Hot path (once per forwarded packet): schedule through
+            # sim._push directly to skip the schedule() wrapper frame.
+            sim = self.sim
+            sim._push(sim._now + self.core_delay, attachment.deliver_from_core, (packet,))
         else:
             attachment.deliver_from_core(packet)
 

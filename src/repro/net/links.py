@@ -23,6 +23,11 @@ from .queues import DropTailQueue
 class _Direction:
     """One store-and-forward pipe: queue -> transmitter -> delivery."""
 
+    __slots__ = (
+        "sim", "rate", "prop_delay", "queue", "deliver", "_busy",
+        "bytes_sent", "packets_sent",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -47,7 +52,7 @@ class _Direction:
             audit.register_direction(self)
 
     def send(self, packet: Packet) -> None:
-        if self.queue.enqueue(packet, self.sim.now) and not self._busy:
+        if self.queue.enqueue(packet, self.sim._now) and not self._busy:
             self._serve()
 
     def set_rate(self, rate_bytes_per_s: float) -> None:
@@ -60,19 +65,30 @@ class _Direction:
             raise ValueError("prop_delay must be non-negative")
         self.prop_delay = prop_delay
 
+    # _serve/_tx_done fire once per packet per direction; they schedule
+    # through sim._push directly to skip the schedule() wrapper frame
+    # (delays here are non-negative by construction).
     def _serve(self) -> None:
-        packet = self.queue.dequeue()
-        if packet is None:
+        # Inlined self.queue.dequeue() — one call frame per packet saved.
+        q = self.queue
+        fifo = q._queue
+        if not fifo:
             self._busy = False
             return
+        packet = fifo.popleft()
+        size = packet.size_bytes
+        q._bytes -= size
+        q.dequeued += 1
+        q.bytes_dequeued += size
         self._busy = True
-        tx_time = packet.size_bytes / self.rate
-        self.sim.schedule(tx_time, self._tx_done, packet)
+        sim = self.sim
+        sim._push(sim._now + size / self.rate, self._tx_done, (packet,))
 
     def _tx_done(self, packet: Packet) -> None:
         self.bytes_sent += packet.size_bytes
         self.packets_sent += 1
-        self.sim.schedule(self.prop_delay, self.deliver, packet)
+        sim = self.sim
+        sim._push(sim._now + self.prop_delay, self.deliver, (packet,))
         self._serve()
 
 

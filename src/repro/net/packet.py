@@ -23,7 +23,9 @@ class Packet:
     The payload must expose ``wire_size`` (transport header + data bytes).
     """
 
-    __slots__ = ("src", "dst", "payload", "packet_id", "created_at", "hops")
+    __slots__ = (
+        "src", "dst", "payload", "packet_id", "created_at", "hops", "size_bytes"
+    )
 
     def __init__(self, src: str, dst: str, payload: Any, created_at: float = 0.0) -> None:
         self.src = src
@@ -32,11 +34,10 @@ class Packet:
         self.packet_id = next(_packet_ids)
         self.created_at = created_at
         self.hops = 0
-
-    @property
-    def size_bytes(self) -> int:
-        """Total on-the-wire size: IP header plus transport payload."""
-        return IP_HEADER_BYTES + int(self.payload.wire_size)
+        # Total on-the-wire size: IP header plus transport payload.
+        # Precomputed — payloads are immutable once wrapped, and size is
+        # read on every enqueue/serve/loss-draw along the path.
+        self.size_bytes = IP_HEADER_BYTES + int(payload.wire_size)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

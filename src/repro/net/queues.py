@@ -16,6 +16,12 @@ from .packet import DropRecord, Packet
 class DropTailQueue:
     """A FIFO packet queue bounded in packets (and optionally bytes)."""
 
+    __slots__ = (
+        "name", "capacity_packets", "capacity_bytes", "_queue", "_bytes",
+        "drops", "enqueued", "dequeued", "bytes_enqueued", "bytes_dequeued",
+        "cleared", "cleared_bytes", "on_drop",
+    )
+
     def __init__(
         self,
         name: str,
@@ -40,20 +46,21 @@ class DropTailQueue:
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         """Append ``packet``; returns False (and records a drop) on overflow."""
+        size = packet.size_bytes
         overflows = len(self._queue) >= self.capacity_packets or (
             self.capacity_bytes is not None
-            and self._bytes + packet.size_bytes > self.capacity_bytes
+            and self._bytes + size > self.capacity_bytes
         )
         if overflows:
-            record = DropRecord(now, self.name, "buffer_overflow", packet.size_bytes)
+            record = DropRecord(now, self.name, "buffer_overflow", size)
             self.drops.append(record)
             if self.on_drop is not None:
                 self.on_drop(packet, record)
             return False
         self._queue.append(packet)
-        self._bytes += packet.size_bytes
+        self._bytes += size
         self.enqueued += 1
-        self.bytes_enqueued += packet.size_bytes
+        self.bytes_enqueued += size
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -61,9 +68,10 @@ class DropTailQueue:
         if not self._queue:
             return None
         packet = self._queue.popleft()
-        self._bytes -= packet.size_bytes
+        size = packet.size_bytes
+        self._bytes -= size
         self.dequeued += 1
-        self.bytes_dequeued += packet.size_bytes
+        self.bytes_dequeued += size
         return packet
 
     def peek(self) -> Optional[Packet]:

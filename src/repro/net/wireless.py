@@ -16,7 +16,8 @@ paper measures, and all three are modelled explicitly:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 from ..sim import Simulator, TimeSeries
 from .internet import Internet
@@ -86,8 +87,15 @@ class WirelessChannel:
             f"{self.name}.ap", capacity_packets=ap_queue_packets
         )
         self._busy = False
+        # FIFO-by-arrival arbitration state: each direction keeps a deque
+        # of monotonically increasing arrival ticket numbers, in lockstep
+        # with its packet queue (enqueue appends, dequeue pops, flush
+        # clears).  Comparing the two head tickets picks the head-of-line
+        # frame that has waited longest — no per-packet dict churn.
         self._arrival_seq = 0
-        self._arrival: dict[int, Tuple[float, int]] = {}
+        self._up_order: Deque[int] = deque()
+        self._down_order: Deque[int] = deque()
+        self._tx_denom = rate * mac_efficiency
         self._baseline: Optional[Tuple[float, float, float]] = None
 
         # Instrumentation -------------------------------------------------
@@ -117,6 +125,7 @@ class WirelessChannel:
         if rate <= 0:
             raise ValueError("rate must be positive")
         self.rate = rate
+        self._tx_denom = rate * self.mac_efficiency
 
     # ------------------------------------------------------------------
     # Fault hooks (repro.chaos)
@@ -152,84 +161,85 @@ class WirelessChannel:
         if self._baseline is None:
             return
         self.rate, self.ber, self.prop_delay = self._baseline
+        self._tx_denom = self.rate * self.mac_efficiency
         self._baseline = None
 
     # ------------------------------------------------------------------
     # Host-side API (station transmits)
     # ------------------------------------------------------------------
     def send_from_host(self, packet: Packet) -> None:
-        self._enqueue(self.uplink_queue, packet)
+        if self.uplink_queue.enqueue(packet, self.sim._now):
+            self._arrival_seq += 1
+            self._up_order.append(self._arrival_seq)
+            if not self._busy:
+                self._serve()
+        # overflow drops are recorded by the queue itself
 
     def host_detached(self) -> None:
         """Interface went down: flush both buffers (frames in the air at the
         old address will be unroutable at the core anyway).
 
-        Arrival-order entries of the flushed packets must go with them:
-        leaving them behind grows ``_arrival`` without bound across
-        handoffs, and a reused packet id would inherit a stale arrival
-        key and jump the FIFO arbitration."""
-        for queue in (self.uplink_queue, self.downlink_queue):
-            for packet in queue.packets():
-                self._arrival.pop(packet.packet_id, None)
-            queue.clear()
+        The arrival tickets of the flushed packets go with them — the
+        order deques mirror the queues entry-for-entry, so a flush that
+        left tickets behind would skew arbitration for every later frame."""
+        self.uplink_queue.clear()
+        self.downlink_queue.clear()
+        self._up_order.clear()
+        self._down_order.clear()
 
     # ------------------------------------------------------------------
     # Core-side API (AP transmits)
     # ------------------------------------------------------------------
     def deliver_from_core(self, packet: Packet) -> None:
-        self._enqueue(self.downlink_queue, packet)
+        if self.downlink_queue.enqueue(packet, self.sim._now):
+            self._arrival_seq += 1
+            self._down_order.append(self._arrival_seq)
+            if not self._busy:
+                self._serve()
 
     # ------------------------------------------------------------------
     # The shared medium
     # ------------------------------------------------------------------
-    def _enqueue(self, queue: DropTailQueue, packet: Packet) -> None:
-        if queue.enqueue(packet, self.sim.now):
-            self._arrival_seq += 1
-            self._arrival[packet.packet_id] = (self.sim.now, self._arrival_seq)
-            if not self._busy:
-                self._serve()
-        # overflow drops are recorded by the queue itself
-
-    def _pick_next(self) -> Optional[Tuple[DropTailQueue, str]]:
+    def _serve(self) -> None:
         """FIFO-by-arrival arbitration across the two directions.
 
-        Approximates CSMA fairness: whichever end's head-of-line frame has
-        waited longest transmits next.
+        Approximates CSMA fairness: whichever end's head-of-line frame
+        has waited longest (the smaller arrival ticket) transmits next.
         """
-        up = self.uplink_queue.peek()
-        down = self.downlink_queue.peek()
-        if up is None and down is None:
-            return None
-        if up is None:
-            return self.downlink_queue, DOWNLINK
-        if down is None:
-            return self.uplink_queue, UPLINK
-        up_key = self._arrival.get(up.packet_id, (0.0, 0))
-        down_key = self._arrival.get(down.packet_id, (0.0, 0))
-        if up_key <= down_key:
-            return self.uplink_queue, UPLINK
-        return self.downlink_queue, DOWNLINK
-
-    def _serve(self) -> None:
-        choice = self._pick_next()
-        if choice is None:
+        up_order = self._up_order
+        down_order = self._down_order
+        if up_order:
+            if down_order and down_order[0] < up_order[0]:
+                down_order.popleft()
+                queue, direction = self.downlink_queue, DOWNLINK
+            else:
+                up_order.popleft()
+                queue, direction = self.uplink_queue, UPLINK
+        elif down_order:
+            down_order.popleft()
+            queue, direction = self.downlink_queue, DOWNLINK
+        else:
             self._busy = False
             return
-        queue, direction = choice
-        packet = queue.dequeue()
-        assert packet is not None
-        self._arrival.pop(packet.packet_id, None)
+        # Inlined queue.dequeue() — the ticket deques guarantee the queue
+        # is non-empty here.
+        fifo = queue._queue
+        packet = fifo.popleft()
+        size = packet.size_bytes
+        queue._bytes -= size
+        queue.dequeued += 1
+        queue.bytes_dequeued += size
         self._busy = True
-        frame_bytes = packet.size_bytes + MAC_OVERHEAD_BYTES
-        tx_time = frame_bytes / (self.rate * self.mac_efficiency)
+        tx_time = (size + MAC_OVERHEAD_BYTES) / self._tx_denom
         self.airtime_busy += tx_time
-        self.sim.schedule(tx_time, self._tx_done, packet, direction)
+        sim = self.sim
+        sim._push(sim._now + tx_time, self._tx_done, (packet, direction))
 
     def _tx_done(self, packet: Packet, direction: str) -> None:
         lost = self._rng.random() < loss_probability(self.ber, packet.size_bytes)
         if direction == UPLINK:
             self.frames_up += 1
-            self.client_tx_series.record(self.sim.now, packet.size_bytes)
+            self.client_tx_series.record(self.sim._now, packet.size_bytes)
         else:
             self.frames_down += 1
         if lost:
@@ -238,12 +248,13 @@ class WirelessChannel:
                 DropRecord(self.sim.now, self.name, f"bit_error_{direction}", packet.size_bytes)
             )
         else:
+            sim = self.sim
             if direction == UPLINK:
                 self.bytes_up += packet.size_bytes
-                self.sim.schedule(self.prop_delay, self.internet.forward, packet)
+                sim._push(sim._now + self.prop_delay, self.internet.forward, (packet,))
             else:
                 self.bytes_down += packet.size_bytes
-                self.sim.schedule(self.prop_delay, self.host.interface.receive, packet)
+                sim._push(sim._now + self.prop_delay, self.host.interface.receive, (packet,))
         self._serve()
 
     # ------------------------------------------------------------------

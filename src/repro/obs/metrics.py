@@ -446,30 +446,51 @@ class MetricsRegistry:
             )
         return metric
 
+    # Each factory checks the registry dict before falling back to
+    # ``_get``: the get-or-create front door sits on per-event hot paths,
+    # and the common "already registered" case must not pay a closure
+    # allocation and a second dispatch per call.  Subclass instances (and
+    # the mismatched-kind error) take the ``_get`` slow path.
+
     def counter(self, name: str, record_history: bool = False) -> Counter:
         """The counter called ``name``, created on first use."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is Counter:
+            return metric
         return self._get(
             name, Counter, lambda: Counter(name, self._clock, record_history)
         )
 
     def gauge(self, name: str, record_history: bool = False) -> Gauge:
         """The gauge called ``name``, created on first use."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is Gauge:
+            return metric
         return self._get(
             name, Gauge, lambda: Gauge(name, self._clock, record_history)
         )
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created on first use."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is Histogram:
+            return metric
         return self._get(name, Histogram, lambda: Histogram(name, self._clock))
 
     def ewma(self, name: str, tau: float = 10.0) -> EwmaRateMeter:
         """The EWMA rate meter called ``name``, created on first use."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is EwmaRateMeter:
+            return metric
         return self._get(
             name, EwmaRateMeter, lambda: EwmaRateMeter(name, self._clock, tau)
         )
 
     def window_rate(self, name: str, window: float = 20.0) -> WindowRateMeter:
         """The sliding-window rate meter called ``name``."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is WindowRateMeter:
+            return metric
         return self._get(
             name,
             WindowRateMeter,
@@ -478,6 +499,9 @@ class MetricsRegistry:
 
     def series(self, name: str) -> TimeSeries:
         """The time series called ``name``, created on first use."""
+        metric = self._metrics.get(name)
+        if metric is not None and metric.__class__ is TimeSeries:
+            return metric
         return self._get(name, TimeSeries, lambda: TimeSeries(name))
 
     # ------------------------------------------------------------------

@@ -144,21 +144,37 @@ def read_jsonl(path: str) -> List[TraceRecord]:
     return records
 
 
+def _noop_event(layer: str, name: str, **fields: object) -> None:
+    """Stand-in for :meth:`TraceBus._emit` while no sink is attached."""
+    return None
+
+
 class TraceBus:
     """Per-simulator event bus: timestamping, layer filtering, fan-out.
 
     ``enabled`` is ``True`` exactly when at least one sink is attached;
     instrumented code checks it before building event fields so a bus
     with no consumers costs nothing beyond the check itself.
+
+    ``event`` is a *precomputed no-op guard*: while the bus is disabled
+    it is a module-level no-op function, swapped for the real
+    :meth:`_emit` when the first sink attaches.  Unguarded call sites
+    therefore never reach the enabled/layer checks at all — a disabled
+    bus performs zero sink calls and zero record allocations (pinned by
+    a regression test).  Hot paths should still prefer the
+    ``if bus.enabled:`` guard so keyword arguments are never built.
     """
 
-    __slots__ = ("enabled", "events_emitted", "_clock", "_sinks", "_layers")
+    __slots__ = (
+        "enabled", "event", "events_emitted", "_clock", "_sinks", "_layers"
+    )
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self._clock = clock or (lambda: 0.0)
         self._sinks: List[TraceSink] = []
         self._layers: Optional[frozenset] = None
         self.enabled = False
+        self.event = _noop_event
         self.events_emitted = 0
 
     # ------------------------------------------------------------------
@@ -180,6 +196,7 @@ class TraceBus:
             existing = self._layers or frozenset()
             self._layers = existing | frozenset(layers)
         self.enabled = True
+        self.event = self._emit
         return sink
 
     def detach(self, sink: TraceSink) -> None:
@@ -188,6 +205,7 @@ class TraceBus:
             self._sinks.remove(sink)
         if not self._sinks:
             self.enabled = False
+            self.event = _noop_event
             self._layers = None
 
     @property
@@ -198,12 +216,11 @@ class TraceBus:
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
-    def event(self, layer: str, name: str, **fields: object) -> None:
+    def _emit(self, layer: str, name: str, **fields: object) -> None:
         """Emit one structured event to every attached sink.
 
-        A no-op when disabled — but call sites on hot paths should still
-        guard with ``if bus.enabled:`` so the keyword-argument dict is
-        never even built.
+        Bound to ``self.event`` while at least one sink is attached; a
+        disabled bus routes ``event`` to a module-level no-op instead.
         """
         if not self.enabled:
             return

@@ -21,6 +21,8 @@ class Timer:
     Restarting an armed timer cancels the previous deadline.
     """
 
+    __slots__ = ("_sim", "_callback", "_event")
+
     def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
         self._sim = sim
         self._callback = callback
@@ -60,6 +62,8 @@ class PeriodicTask:
     interval).  The callback may call :meth:`stop` to end the series or
     :meth:`set_interval` to change cadence from the next tick on.
     """
+
+    __slots__ = ("_sim", "_interval", "_callback", "_event", "_running")
 
     def __init__(
         self,

@@ -252,8 +252,9 @@ class TCPConnection:
         if self._finished:
             return
         self.stats.segments_received += 1
+        flags = segment.flags
 
-        if segment.has(RST):
+        if flags & RST:
             self._finish("reset")
             return
 
@@ -261,10 +262,10 @@ class TCPConnection:
             self._receive_in_syn_sent(segment)
             return
         if self.state == SYN_RCVD:
-            if segment.has(SYN):  # retransmitted SYN: re-ack it
+            if flags & SYN:  # retransmitted SYN: re-ack it
                 self._send_pure_ack()
                 return
-            if segment.has(ACK) and segment.ack is not None and segment.ack >= 1:
+            if flags & ACK and segment.ack is not None and segment.ack >= 1:
                 self._become_established()
             # fall through: the ACK may carry data
 
@@ -304,13 +305,12 @@ class TCPConnection:
     # ACK-side processing
     # ------------------------------------------------------------------
     def _process_ack(self, segment: TCPSegment) -> None:
-        if not segment.has(ACK) or segment.ack is None:
+        if not segment.flags & ACK or segment.ack is None:
             return
         self._peer_rwnd = segment.rwnd
         ack = segment.ack
         if ack > self._max_sent + (1 if self._fin_sent else 0):
             return  # acks data we never sent; ignore
-        flight_before = self._flight_size()
 
         if self.config.sack and segment.sack_blocks:
             self._sack_update(segment.sack_blocks)
@@ -323,7 +323,7 @@ class TCPConnection:
             self._consecutive_timeouts = 0
             if self._timed_end is not None and ack >= self._timed_end:
                 if self._timed_valid:
-                    self.rtt.sample(self.sim.now - self._timed_at)
+                    self.rtt.sample(self.sim._now - self._timed_at)
                 self._timed_end = None
             was_recovery = self.cc.in_recovery
             retransmit = self.cc.on_new_ack(acked, self.snd.nxt, ack)
@@ -344,7 +344,7 @@ class TCPConnection:
             self._try_output()
         elif (
             ack == self.snd.una
-            and self._flight_size() > 0
+            and (flight_before := self._flight_size()) > 0
             and segment.is_pure_ack
         ):
             self._dupacks += 1
@@ -400,7 +400,7 @@ class TCPConnection:
         if self.rcv is None or self._finished:
             return
         has_payload = segment.payload_len > 0
-        fin = segment.has(FIN)
+        fin = segment.flags & FIN
         if not has_payload and not fin:
             return
 
@@ -478,32 +478,35 @@ class TCPConnection:
         ):
             return 0
         sent = 0
+        snd = self.snd
+        config = self.config
         window = min(self.cc.cwnd, self._peer_rwnd)
         # Once our FIN is out nothing new may follow it, but data *before*
         # the FIN may still be (re)transmitted — e.g. go-back-N after RTO.
-        limit = self.snd.end
+        limit = snd.end
         if self._fin_sent and self._local_fin_seq is not None:
             limit = self._local_fin_seq
-        while self.snd.nxt < limit:
-            budget = window - self.snd.flight_size
+        while snd.nxt < limit:
+            budget = window - (snd.nxt - snd.una)  # flight_size, inlined
             if budget <= 0:
                 break
-            take = min(self.config.mss, limit - self.snd.nxt, budget)
-            start = self.snd.nxt
+            take = min(config.mss, limit - snd.nxt, budget)
+            start = snd.nxt
             end = start + take
-            messages = self.snd.messages_in(start, end)
+            messages = snd.messages_in(start, end)
             segment = TCPSegment(
                 self.local_port, self.remote_port, start, self.rcv.rcv_nxt,
-                ACK, take, messages, self.config.rwnd,
+                ACK, take, messages, config.rwnd,
             )
-            self.snd.nxt = end
+            snd.nxt = end
             # Karn's rule: only time segments that are not retransmissions
             # (go-back-N after an RTO resends below _max_sent).
             if self._timed_end is None and start >= self._max_sent:
                 self._timed_end = end
-                self._timed_at = self.sim.now
+                self._timed_at = self.sim._now
                 self._timed_valid = True
-            self._max_sent = max(self._max_sent, end)
+            if end > self._max_sent:
+                self._max_sent = end
             self._send_segment(segment)
             self.stats.payload_bytes_sent += take
             if sent == 0 and take > 0:
@@ -560,10 +563,12 @@ class TCPConnection:
     def _send_segment(self, segment: TCPSegment, count: bool = True) -> None:
         if count:
             self.stats.segments_sent += 1
-        if segment.has(ACK) and segment.ack is not None:
-            self._last_ack_sent = max(self._last_ack_sent, segment.ack)
+        ack = segment.ack
+        if segment.flags & ACK and ack is not None:
+            if ack > self._last_ack_sent:
+                self._last_ack_sent = ack
             self._delack_timer.cancel()
-        packet = Packet(self.local_ip, self.remote_ip, segment, created_at=self.sim.now)
+        packet = Packet(self.local_ip, self.remote_ip, segment, created_at=self.sim._now)
         self.host.send(packet)
 
     # ------------------------------------------------------------------

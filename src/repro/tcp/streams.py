@@ -123,12 +123,21 @@ class ReceiveStream:
         if length <= 0:
             return False
         start, end = seq, seq + length
-        if end <= self.rcv_nxt:
+        rcv_nxt = self.rcv_nxt
+        if end <= rcv_nxt:
             self.duplicate_bytes += length
             return False
-        start = max(start, self.rcv_nxt)
+        if start < rcv_nxt:
+            start = rcv_nxt
+        if start == rcv_nxt and not self._segments:
+            # In-order arrival with no reassembly gap — the overwhelmingly
+            # common case: advance directly, skipping the merge machinery.
+            self.bytes_delivered += end - rcv_nxt
+            self.rcv_nxt = end
+            self._last_insert_point = start
+            return True
         self._insert(start, end)
-        before = self.rcv_nxt
+        before = rcv_nxt
         self._advance()
         return self.rcv_nxt > before
 

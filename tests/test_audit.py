@@ -181,7 +181,7 @@ class TestNetAlarms:
         internet = Internet(sim)
         host = Host(sim, "m")
         channel = attach_wireless_host(sim, host, internet, "10.0.1.1")
-        channel._arrival[999] = (0.0, 1)  # entry with no queued packet
+        channel._up_order.append(999)  # ticket with no queued packet
         auditor.sweep()
         assert "net.wireless" in checkers_fired(auditor)
 

@@ -1,0 +1,163 @@
+"""Property tests for the calendar event queue against the heap oracle.
+
+The two queue implementations in :mod:`repro.sim.events` promise the
+identical ``(time, seq)`` total order — that contract is what makes
+them freely interchangeable without perturbing a single simulation
+result ("bit-identical or it doesn't merge", docs/PERFORMANCE.md).
+These tests drive both in lockstep through randomized insert / cancel /
+bounded-pop schedules and assert every pop matches, including the
+float-boundary regime that broke the first calendar implementation:
+``int(t / width)`` can round across a bucket boundary (e.g.
+``4.1 / 0.005``), so day mapping must be canonicalised or the calendar
+walk skips live events.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net import AddressAllocator, Host, Internet, attach_wired_host
+from repro.sim import Simulator
+from repro.sim.events import (
+    CalendarEventQueue,
+    HeapEventQueue,
+    _day_of,
+    make_event_queue,
+)
+from repro.tcp import TCPStack
+
+
+def _noop() -> None:
+    pass
+
+
+def _drive(seed: int, *, times, ops: int = 4_000) -> None:
+    """Run an identical random schedule through both queues; every pop
+    (bounded and unbounded) must return events with identical
+    ``(time, seq)``."""
+    rng = random.Random(seed)
+    calendar = CalendarEventQueue()
+    heap = HeapEventQueue()
+    live = []  # parallel (calendar_event, heap_event) handles
+
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            t = times(rng)
+            live.append((calendar.push(t, _noop), heap.push(t, _noop)))
+        elif roll < 0.70 and live:
+            ce, he = live.pop(rng.randrange(len(live)))
+            calendar.cancel(ce)
+            heap.cancel(he)
+        else:
+            until = None if rng.random() < 0.3 else times(rng)
+            got = calendar.pop_due(until)
+            want = heap.pop_due(until)
+            if want is None:
+                assert got is None, (until, got and (got.time, got.seq))
+            else:
+                assert got is not None, (until, (want.time, want.seq))
+                assert (got.time, got.seq) == (want.time, want.seq)
+                # Retire the popped handles: cancelling an event that has
+                # already fired is a kernel-contract violation.
+                live = [(ce, he) for ce, he in live if he is not want]
+            assert calendar.peek_time() == heap.peek_time()
+
+    # Drain: the full remaining order must match exactly.
+    while True:
+        want = heap.pop()
+        got = calendar.pop()
+        if want is None:
+            assert got is None
+            break
+        assert got is not None and (got.time, got.seq) == (want.time, want.seq)
+    assert len(calendar) == len(heap) == 0
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_pop_order_matches_heap_random(seed):
+    """Uniform random times over several orders of magnitude."""
+    _drive(seed, times=lambda rng: rng.random() * 10 ** rng.randint(-3, 2))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_pop_order_matches_heap_boundary_times(seed):
+    """Times that are exact multiples of common bucket widths — the
+    float regime where ``int(t / width)`` rounds across a boundary."""
+
+    def times(rng):
+        # e.g. 4.1 with width 0.005: 4.1/0.005 -> 820 but 4.1 < 820*0.005.
+        return rng.randrange(0, 2000) * 0.005 + rng.choice((0.0, 0.1, 4.1))
+
+    _drive(seed, times=times)
+
+
+def test_pop_order_matches_heap_bursty_same_time():
+    """Many events at the identical instant must pop in push order."""
+    _drive(99, times=lambda rng: rng.choice((1.0, 1.0, 1.0, 2.5, 2.5)))
+
+
+def test_day_of_is_canonical():
+    """_day_of must satisfy k*width <= t < (k+1)*width exactly."""
+    rng = random.Random(42)
+    for _ in range(20_000):
+        width = rng.choice((0.005, 0.001, 0.1, 1 / 3, 1e-6))
+        t = rng.randrange(0, 10_000) * width + rng.random() * width
+        k = _day_of(t, width)
+        assert k * width <= t < (k + 1) * width, (t, width, k)
+    # The regression instance that produced an out-of-order dispatch.
+    k = _day_of(4.1, 0.005)
+    assert k * 0.005 <= 4.1 < (k + 1) * 0.005
+
+
+def test_make_event_queue_selection(monkeypatch):
+    assert make_event_queue("calendar").kind == "calendar"
+    assert make_event_queue("heap").kind == "heap"
+    monkeypatch.setenv("REPRO_EVENT_QUEUE", "heap")
+    assert make_event_queue().kind == "heap"
+    monkeypatch.delenv("REPRO_EVENT_QUEUE")
+    assert make_event_queue().kind == "calendar"
+    with pytest.raises(ValueError):
+        make_event_queue("splay")
+
+
+def _bulk_transfer(queue: str):
+    """A full TCP bulk transfer; returns order-sensitive run statistics."""
+
+    class _Message:
+        def __init__(self, wire_length: int) -> None:
+            self.wire_length = wire_length
+
+    sim = Simulator(seed=5, queue=queue)
+    internet = Internet(sim, core_delay=0.01)
+    alloc = AddressAllocator()
+    a, b = Host(sim, "a"), Host(sim, "b")
+    stack_a, stack_b = TCPStack(sim, a), TCPStack(sim, b)
+    attach_wired_host(sim, a, internet, alloc.allocate(),
+                      down_rate=200_000, up_rate=200_000)
+    attach_wired_host(sim, b, internet, alloc.allocate(),
+                      down_rate=200_000, up_rate=200_000)
+    received = []
+    stack_b.listen(6881, lambda conn: setattr(conn, "on_message", received.append))
+    client = stack_a.connect(b.ip, 6881)
+    for _ in range(300):
+        client.send_message(_Message(1400))
+    end = sim.run(until=60.0)
+    return (
+        end,
+        len(received),
+        sim.events_processed,
+        client.stats.segments_sent,
+        client.stats.segments_received,
+        client.stats.pure_acks_sent,
+        internet.packets_forwarded,
+    )
+
+
+def test_simulation_bit_identical_across_queue_impls():
+    """The same run under calendar and heap queues must agree on every
+    order-sensitive statistic (the end-to-end interchangeability claim;
+    the figure-level digests are pinned in tests/test_scale.py)."""
+    assert _bulk_transfer("calendar") == _bulk_transfer("heap")

@@ -160,6 +160,42 @@ class TestZeroOverheadWhenDisabled:
         stats = run_transfer(seed=1, ber=1e-5, bidirectional=True, duration=5.0)
         assert stats.delivered_down > 0
 
+    def test_event_is_module_noop_while_disabled(self):
+        # The fast path is a *precomputed guard*: with no sink attached,
+        # bus.event must be the module-level no-op (no bound method, no
+        # enabled check per call).  Attach swaps in _emit, detach swaps
+        # the no-op back.  Pinned so a refactor cannot quietly turn the
+        # obs-off path back into per-event dispatch overhead.
+        bus = TraceBus()
+        assert bus.event is tracing._noop_event
+        sink = bus.attach(RingBufferSink())
+        assert bus.event.__func__ is TraceBus._emit
+        bus.detach(sink)
+        assert bus.event is tracing._noop_event
+        assert Simulator().trace.event is tracing._noop_event
+
+    def test_detached_sink_sees_zero_calls_from_a_run(self):
+        # A sink that was attached and then detached must observe zero
+        # writes during a subsequent traffic-bearing run: the obs-off
+        # fast path performs zero sink calls, not merely zero records.
+        class CountingSink:
+            calls = 0
+
+            def write(self, record):
+                CountingSink.calls += 1
+
+            def close(self):
+                pass
+
+        sim = Simulator()
+        sink = sim.trace.attach(CountingSink())
+        sim.trace.detach(sink)
+        for i in range(100):
+            sim.schedule(float(i) * 0.1, lambda: None)
+        sim.run()
+        assert CountingSink.calls == 0
+        assert sim.trace.events_emitted == 0
+
 
 class TestKernelProfiler:
     def test_profiler_aggregates_handler_costs(self):
