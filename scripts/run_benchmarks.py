@@ -16,7 +16,10 @@ Usage::
 
 The consolidated format is stable (sorted keys, one entry per bench),
 so CI can archive ``BENCH_scale.json`` as an artifact and runs stay
-diffable across commits.
+diffable across commits.  Each run also appends one timestamped line
+(commit, wall clock, per-bench events/sec) to the committed
+``benchmarks/TRAJECTORY.jsonl``, the repo's long-term perf history;
+``--no-trajectory`` skips the append for scratch runs.
 
 Regression gating (``--check-regression``) applies two checks:
 
@@ -38,8 +41,10 @@ import os
 import subprocess
 import sys
 import tempfile
+from datetime import datetime, timezone
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "benchmarks", "TRAJECTORY.jsonl")
 
 
 def consolidate(raw: dict) -> dict:
@@ -70,6 +75,41 @@ def consolidate(raw: dict) -> dict:
             (e["peak_swarm"] for e in entries if e["peak_swarm"]), default=0,
         ),
     }
+
+
+def trajectory_record(report: dict) -> dict:
+    """One compact JSONL line: when, what code, how fast.
+
+    Appended to ``benchmarks/TRAJECTORY.jsonl`` after every suite run, so
+    the committed file accumulates the perf history of the repo — one
+    line per run, grep-able and plottable without pytest-benchmark's
+    storage machinery.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = None
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": commit,
+        "total_wall_seconds": round(report["total_wall_seconds"], 3),
+        "peak_swarm_size": report["peak_swarm_size"],
+        "events_per_sec": {
+            e["name"]: round(e["events_per_sec"])
+            for e in report["benchmarks"] if e["events_per_sec"]
+        },
+    }
+
+
+def append_trajectory(report: dict, path: str) -> dict:
+    record = trajectory_record(report)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
 
 
 def check_regression(report: dict, threshold: float, baseline: dict | None) -> list:
@@ -126,6 +166,11 @@ def main(argv=None) -> int:
                              "events/sec against (e.g. benchmarks/BASELINE.json)")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed events/sec regression fraction (default 0.30)")
+    parser.add_argument("--trajectory", default=TRAJECTORY_PATH,
+                        help="JSONL perf-history file to append a timestamped "
+                             "record to (default: benchmarks/TRAJECTORY.jsonl)")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="skip the trajectory append (scratch runs)")
     parser.add_argument("--pytest-args", nargs=argparse.REMAINDER, default=[],
                         help="extra args passed through to pytest")
     args = parser.parse_args(argv)
@@ -161,6 +206,10 @@ def main(argv=None) -> int:
         handle.write("\n")
 
     print(f"\nwrote {args.output}")
+    if not args.no_trajectory:
+        record = append_trajectory(report, args.trajectory)
+        print(f"appended {record['timestamp']} ({record['commit'] or 'no commit'})"
+              f" to {args.trajectory}")
     for entry in report["benchmarks"]:
         eps = entry["events_per_sec"]
         print(f"  {entry['name']:<42} {entry['wall_seconds']*1000:>9.1f} ms"

@@ -1,7 +1,7 @@
 """BitTorrent: metainfo, tracker, peer wire protocol, choking, client."""
 
 from .bitfield import Bitfield
-from .choker import TitForTatChoker
+from .choker import ChokerDriver, TitForTatChoker
 from .client import BitTorrentClient, ClientConfig, default_restart_policy
 from .ledger import PeerLedger
 from .messages import (
@@ -34,11 +34,15 @@ from .selection import (
     RarestFirstSelector,
     SelectionContext,
     SequentialSelector,
+    make_selector,
+    register_selector,
+    selector_names,
 )
 from .tracker import PeerRecord, Tracker
 
 __all__ = [
     "Bitfield",
+    "ChokerDriver",
     "TitForTatChoker",
     "BitTorrentClient",
     "ClientConfig",
@@ -74,6 +78,9 @@ __all__ = [
     "RarestFirstSelector",
     "SelectionContext",
     "SequentialSelector",
+    "make_selector",
+    "register_selector",
+    "selector_names",
     "PeerRecord",
     "Tracker",
 ]

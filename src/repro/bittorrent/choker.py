@@ -1,4 +1,4 @@
-"""Tit-for-tat choking.
+"""Round-based choking: shared driver + pluggable policy.
 
 The standard BitTorrent choker (§2.2): every round (10 s) the client
 unchokes the interested peers giving it the best rates — download rate from
@@ -9,6 +9,16 @@ Rate ranking folds in the :class:`~repro.bittorrent.ledger.PeerLedger`
 credit for the peer's ID, which is what makes identity retention matter: a
 reconnecting peer with a known ID ranks on its history, a fresh ID ranks
 zero and must win the optimistic slot first.
+
+Since the strategy layer (:mod:`repro.strategy`) the *decision* half —
+how peers are ranked and which win the ranked slots — lives in a
+:class:`~repro.strategy.base.ChokerPolicy`, while :class:`ChokerDriver`
+keeps everything temporal: round scheduling, the anti-snubbing filter,
+optimistic rotation (skipped for policies that disown it) and applying
+choke/unchoke edges.  Without an explicit policy the driver runs
+:class:`~repro.strategy.policies.ReferencePolicy`, whose ranking is the
+exact expression the pre-seam choker used — same sort order, same RNG
+draws, byte-identical trajectories.
 """
 
 from __future__ import annotations
@@ -16,14 +26,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional
 
 from ..sim import PeriodicTask, Simulator
+from ..strategy.base import ChokerPolicy
+from ..strategy.policies import ReferencePolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from .client import BitTorrentClient
     from .peer import PeerConnection
 
 
-class TitForTatChoker:
-    """Round-based choking policy for one client."""
+class ChokerDriver:
+    """Round scheduling + choke application for one client's policy."""
 
     def __init__(
         self,
@@ -31,6 +43,7 @@ class TitForTatChoker:
         interval: float = 10.0,
         slots: int = 3,
         optimistic_every: int = 3,
+        policy: Optional[ChokerPolicy] = None,
     ) -> None:
         if slots < 0:
             raise ValueError("slots must be non-negative")
@@ -39,6 +52,10 @@ class TitForTatChoker:
         self.client = client
         self.slots = slots
         self.optimistic_every = optimistic_every
+        # `strategic` marks an explicitly-supplied policy: only those emit
+        # strategy.* metrics/trace, so default runs observe nothing new.
+        self.strategic = policy is not None
+        self.policy: ChokerPolicy = policy if policy is not None else ReferencePolicy()
         self._task = PeriodicTask(client.sim, interval, self.run_round)
         self._round = 0
         self._optimistic: Optional["PeerConnection"] = None
@@ -54,12 +71,8 @@ class TitForTatChoker:
 
     # ------------------------------------------------------------------
     def rank_rate(self, peer: "PeerConnection") -> float:
-        """Ranking key: live rate plus persistent per-ID ledger credit."""
-        if self.client.manager.complete:
-            return peer.upload_meter.rate()
-        live = peer.download_meter.rate()
-        credit = self.client.ledger.rate(peer.peer_id) if peer.peer_id else 0.0
-        return live + credit
+        """Ranking key the policy applies to one interested peer."""
+        return self.policy.rank(self.client, peer)
 
     def run_round(self) -> None:
         self._round += 1
@@ -72,18 +85,26 @@ class TitForTatChoker:
             # Snubbing peers may only win the optimistic slot.
             timeout = self.client.config.snub_timeout
             candidates = [p for p in interested if not p.snubbed(timeout)]
-        ranked = sorted(candidates, key=self.rank_rate, reverse=True)
-        unchoke = set(ranked[: self.slots])
+        unchoke = self.policy.allocate(
+            self.client, candidates, self.slots, self._rng
+        )
 
-        if self._round % self.optimistic_every == 1 or self._optimistic is None or self._optimistic.closed:
-            self._rotate_optimistic(interested, unchoke)
-        if self._optimistic is not None and not self._optimistic.closed:
-            unchoke.add(self._optimistic)
+        if self.policy.uses_optimistic:
+            if self._round % self.optimistic_every == 1 or self._optimistic is None or self._optimistic.closed:
+                self._rotate_optimistic(interested, unchoke)
+            if self._optimistic is not None and not self._optimistic.closed:
+                unchoke.add(self._optimistic)
+
+        if self.strategic:
+            metrics = self.client.sim.metrics
+            metrics.counter(f"strategy.{self.policy.name}.choke_rounds").add()
+            metrics.counter(f"strategy.{self.policy.name}.unchokes").add(
+                len(unchoke)
+            )
 
         trace = self.client.sim.trace
         if trace.enabled:
-            trace.event(
-                "bittorrent", "choke_round",
+            fields = dict(
                 client=self.client.name, round=self._round,
                 interested=len(interested),
                 unchoked=sorted(p.peer_id or "?" for p in unchoke),
@@ -93,6 +114,9 @@ class TitForTatChoker:
                     else None
                 ),
             )
+            if self.strategic:
+                fields["policy"] = self.policy.name
+            trace.event("bittorrent", "choke_round", **fields)
 
         for peer in peers:
             peer.set_choking(peer not in unchoke)
@@ -109,3 +133,13 @@ class TitForTatChoker:
     @property
     def optimistic_peer(self) -> Optional["PeerConnection"]:
         return self._optimistic
+
+
+class TitForTatChoker(ChokerDriver):
+    """The reference choker under its historical name.
+
+    Exactly a :class:`ChokerDriver` running
+    :class:`~repro.strategy.policies.ReferencePolicy`; kept as the
+    default (and the backward-compatible constructor) for every client
+    that predates the strategy layer.
+    """

@@ -16,14 +16,15 @@ retention + role reversal) from :mod:`repro.wp2p`.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple, Union
 
 from ..net.host import Host
 from ..sim import Counter, PeriodicTask, Simulator
+from ..strategy import ClientStrategy, resolve_strategy
 from ..tcp.connection import TCPConnection
 from ..tcp.stack import TCPStack
-from .choker import TitForTatChoker
+from .choker import ChokerDriver, TitForTatChoker
 from .ledger import PeerLedger
 from .messages import (
     EVENT_COMPLETED,
@@ -39,7 +40,12 @@ from .messages import (
 from .metainfo import Torrent
 from .peer import PeerConnection
 from .piece_manager import PieceManager
-from .selection import PieceSelector, RarestFirstSelector, SelectionContext
+from .selection import (
+    PieceSelector,
+    RarestFirstSelector,
+    SelectionContext,
+    make_selector,
+)
 
 
 @dataclass
@@ -105,12 +111,26 @@ class BitTorrentClient:
         config: Optional[ClientConfig] = None,
         name: Optional[str] = None,
         initial_pieces=None,
+        strategy: Optional[Union[str, ClientStrategy]] = None,
     ) -> None:
         self.sim = sim
         self.host = host
         self.torrent = torrent
         self.config = config or ClientConfig()
         self.name = name or f"bt.{host.name}"
+        # Strategy resolution: a registry name or ClientStrategy bundles a
+        # choking policy, an optional selector and config overrides.  The
+        # overrides land on a *copy* (configs are shared across peers in
+        # several experiments); ``strategy=None`` changes nothing at all.
+        self.strategy: Optional[ClientStrategy] = resolve_strategy(strategy)
+        if self.strategy is not None and self.strategy.config_overrides:
+            self.config = replace(self.config, **self.strategy.config_overrides)
+        if (
+            selector is None
+            and self.strategy is not None
+            and self.strategy.selector is not None
+        ):
+            selector = make_selector(self.strategy.selector)
         self.selector = selector or RarestFirstSelector()
         self._rng = sim.rng.stream(f"client.{self.name}")
         self.manager = PieceManager(
@@ -133,12 +153,24 @@ class BitTorrentClient:
         self.availability: Dict[int, int] = {}
 
         self.ledger = PeerLedger(sim, half_life=self.config.ledger_half_life)
-        self.choker = TitForTatChoker(
+        self.choker = ChokerDriver(
             self,
             interval=self.config.choke_interval,
             slots=self.config.unchoke_slots,
             optimistic_every=self.config.optimistic_every,
+            policy=(
+                self.strategy.make_policy()
+                if self.strategy is not None
+                else None
+            ),
         )
+        if self.strategy is not None:
+            sim.metrics.counter(f"strategy.{self.strategy.name}.peers").add()
+            if sim.trace.enabled:
+                sim.trace.event(
+                    "strategy", "assign",
+                    client=self.name, strategy=self.strategy.name,
+                )
         from .rate import TokenBucket
 
         self.upload_bucket = TokenBucket(sim, self.config.upload_limit)
@@ -632,6 +664,11 @@ class BitTorrentClient:
     @property
     def complete(self) -> bool:
         return self.manager.complete
+
+    @property
+    def strategy_name(self) -> str:
+        """The resolved strategy name (``reference`` when none was set)."""
+        return self.strategy.name if self.strategy is not None else "reference"
 
     def _generate_peer_id(self) -> str:
         """Peer IDs are a function of the current address and a random value

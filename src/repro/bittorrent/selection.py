@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -68,4 +68,49 @@ class RandomSelector(PieceSelector):
     def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
         if not candidates:
             return None
-        return ctx.rng.choice(list(candidates))
+        # No defensive copy: candidates arrive as a fresh list from the
+        # piece manager, and random.choice only indexes the sequence.
+        return ctx.rng.choice(candidates)
+
+
+# ----------------------------------------------------------------------
+# Selector registry: names resolvable from specs and strategies.
+# ----------------------------------------------------------------------
+_SELECTORS: Dict[str, Callable[[], PieceSelector]] = {}
+
+
+class UnknownSelectorError(KeyError):
+    """Raised when a selector name is not registered."""
+
+
+def register_selector(
+    name: str, factory: Callable[[], PieceSelector]
+) -> None:
+    """Register (or replace) a selector factory under ``name``."""
+    _SELECTORS[name] = factory
+
+
+def make_selector(name: str) -> PieceSelector:
+    """A fresh instance of the named selector.
+
+    Selectors may be stateful (wP2P's mobility-aware blend counts its
+    choices), so resolution always constructs rather than sharing.
+    """
+    try:
+        factory = _SELECTORS[name]
+    except KeyError:
+        known = ", ".join(selector_names())
+        raise UnknownSelectorError(
+            f"unknown selector {name!r}; choose from {known}"
+        ) from None
+    return factory()
+
+
+def selector_names() -> List[str]:
+    """Registered selector names, sorted."""
+    return sorted(_SELECTORS)
+
+
+register_selector(RarestFirstSelector.name, RarestFirstSelector)
+register_selector(SequentialSelector.name, SequentialSelector)
+register_selector(RandomSelector.name, RandomSelector)

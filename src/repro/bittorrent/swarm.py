@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import chaos as chaos_defaults
+from .. import strategy as strategy_defaults
 from ..chaos import ChaosController, ChaosSchedule
 from ..net import (
     AddressAllocator,
@@ -57,6 +58,7 @@ class SwarmScenario:
         tracker_interval: float = 120.0,
         tcp_config: Optional[TCPConfig] = None,
         torrent_name: str = "shared-file",
+        strategy_mix=None,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.internet = Internet(self.sim, core_delay=core_delay)
@@ -85,6 +87,19 @@ class SwarmScenario:
         applied = chaos_defaults.apply_defaults(self)
         if applied is not None:
             self.chaos = applied
+        #: canonical strategy mix peers draw from, if any (repro.strategy)
+        self.strategy_mix = None
+        self._strategy_assigner: Optional[strategy_defaults.MixAssigner] = None
+        mix = (
+            strategy_mix
+            if strategy_mix is not None
+            else strategy_defaults.ambient_mix()
+        )
+        if mix:
+            normalized = strategy_defaults.normalize_mix(mix)
+            if not strategy_defaults.mix_is_default(normalized):
+                self.strategy_mix = normalized
+                self._strategy_assigner = strategy_defaults.MixAssigner(normalized)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -117,6 +132,7 @@ class SwarmScenario:
         selector: Optional[PieceSelector] = None,
         client_factory=BitTorrentClient,
         initial_pieces=None,
+        strategy=None,
     ) -> PeerHandle:
         """A fixed peer on an asymmetric wired access link."""
         host = Host(self.sim, name)
@@ -129,6 +145,7 @@ class SwarmScenario:
             self.sim, host, self.torrent,
             complete=complete, selector=selector, config=config, name=name,
             initial_pieces=initial_pieces,
+            **self._strategy_kwargs(strategy, "wired", complete),
         )
         handle = PeerHandle(name, host, client)
         self.peers[name] = handle
@@ -145,6 +162,7 @@ class SwarmScenario:
         selector: Optional[PieceSelector] = None,
         client_factory=BitTorrentClient,
         initial_pieces=None,
+        strategy=None,
     ) -> PeerHandle:
         """A (potentially mobile) peer behind a shared wireless cell."""
         host = Host(self.sim, name)
@@ -157,10 +175,23 @@ class SwarmScenario:
             self.sim, host, self.torrent,
             complete=complete, selector=selector, config=config, name=name,
             initial_pieces=initial_pieces,
+            **self._strategy_kwargs(strategy, "mobile", complete),
         )
         handle = PeerHandle(name, host, client, channel=channel)
         self.peers[name] = handle
         return handle
+
+    def _strategy_kwargs(self, strategy, population: str, complete: bool):
+        """Resolve a peer's strategy: explicit beats the scenario mix.
+
+        Returned as kwargs so the default path passes nothing — custom
+        ``client_factory`` callables that predate the strategy layer
+        keep working untouched.  Seeds never draw from the mix (the
+        sweep fractions describe the leecher population).
+        """
+        if strategy is None and self._strategy_assigner is not None and not complete:
+            strategy = self._strategy_assigner.assign(population)
+        return {} if strategy is None else {"strategy": strategy}
 
     def add_mobility(
         self,

@@ -42,6 +42,7 @@ from .fig3_incentives import fig3a, fig3b, fig3c
 from .fig4_mobility import fig4a, fig4bc, playability_run
 from .fig8_wp2p import am_only_config, fig8a, fig8b, fig8c, ia_config
 from .fig9_wp2p import fig9ab, fig9c, mf_only_config, rr_only_config
+from .figx_arena import arena_run, figx_arena
 from .figx_chaos import chaos_run, figx_chaos
 from .figx_scale import figx_scale, fluid_cell, packet_cell
 
@@ -73,6 +74,8 @@ __all__ = [
     "fig9c",
     "mf_only_config",
     "rr_only_config",
+    "arena_run",
+    "figx_arena",
     "chaos_run",
     "figx_chaos",
     "figx_scale",

@@ -47,7 +47,7 @@ from ..runner import (
 ALL_ORDER: List[str] = [
     "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
     "fig8a", "fig8b", "fig8c", "fig9c", "fig4bc", "fig9ab",
-    "figx_chaos", "figx_scale",
+    "figx_chaos", "figx_scale", "figx_arena",
 ]
 
 
@@ -80,6 +80,41 @@ def _parse_set(pairs: List[str]) -> Dict[str, object]:
         except json.JSONDecodeError:
             out[key] = raw
     return out
+
+
+def _parse_strategy_mix(text: Optional[str]) -> Optional[Dict[str, object]]:
+    """``--strategy-mix``: JSON, or ``[pop:]name=frac`` comma pairs.
+
+    ``freerider=0.25`` targets the whole population;
+    ``mobile:freerider=0.5,wired:tyrant=0.2`` targets populations.
+    Validation of names/fractions happens in the Runner (repro.strategy).
+    """
+    if text is None:
+        return None
+    try:
+        parsed = json.loads(text)
+    except json.JSONDecodeError:
+        parsed = {}
+        for part in text.split(","):
+            key, sep, raw = part.strip().partition("=")
+            if not sep or not key:
+                raise SystemExit(
+                    f"--strategy-mix expects JSON or name=frac pairs, got {part!r}"
+                )
+            try:
+                fraction = float(raw)
+            except ValueError:
+                raise SystemExit(
+                    f"--strategy-mix fraction must be a number, got {raw!r}"
+                ) from None
+            population, colon, name = key.partition(":")
+            if colon:
+                parsed.setdefault(population.strip(), {})[name.strip()] = fraction
+            else:
+                parsed[key.strip()] = fraction
+    if not isinstance(parsed, dict):
+        raise SystemExit("--strategy-mix must be a JSON object or name=frac pairs")
+    return parsed
 
 
 def _resolve_names(figure: str) -> List[str]:
@@ -178,9 +213,12 @@ def _cmd_run(args) -> None:
             chaos_intensity=args.chaos_intensity,
             chaos_horizon=args.chaos_horizon,
             backend=args.backend,
+            strategy=args.strategy,
+            strategy_mix=_parse_strategy_mix(args.strategy_mix),
         )
-    except ValueError as exc:
-        raise SystemExit(f"error: {exc}") from None
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        raise SystemExit(f"error: {message}") from None
     failed_cells = 0
 
     def run_all() -> None:
@@ -285,6 +323,15 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="simulated window the chaos preset lays its "
                              "faults over (default 300)")
+    parser.add_argument("--strategy", metavar="NAME", default=None,
+                        help="run the whole peer population under one "
+                             "repro.strategy client strategy "
+                             "(reference|freerider|tyrant|propshare)")
+    parser.add_argument("--strategy-mix", metavar="MIX", default=None,
+                        help="strategy mix for the peer population: JSON "
+                             "('{\"freerider\": 0.25}') or comma pairs "
+                             "('freerider=0.25' / 'mobile:tyrant=0.5'); "
+                             "unlisted fraction runs reference")
 
 
 def main(argv=None) -> None:

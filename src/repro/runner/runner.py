@@ -143,6 +143,7 @@ def _execute_cell(
     payload: Tuple[
         str, str, list, int, Mapping[str, object], int, bool,
         Optional[float], Optional[Mapping[str, object]], str,
+        Optional[Mapping[str, Mapping[str, float]]],
     ]
 ):
     """Worker entry point: run one cell, retrying once on failure.
@@ -155,13 +156,15 @@ def _execute_cell(
     as an ordinary cell failure carrying the ``AuditViolation``
     traceback.  When chaos options are present, :mod:`repro.chaos` is
     installed the same way, so every scenario the cell builds gets the
-    fault schedule.  A :class:`CellTimeout` (the ``cell_timeout``
+    fault schedule — and a strategy mix (:mod:`repro.strategy`) likewise,
+    so strategic peer populations reach scenarios that build their own
+    swarms.  A :class:`CellTimeout` (the ``cell_timeout``
     budget expiring) is terminal: a cell that ran out of wall clock once
     will again, so it fails immediately with no retry.
     """
     (
         module_name, scenario_name, key_list, seed, params, retries,
-        audit_on, cell_timeout, chaos_options, backend,
+        audit_on, cell_timeout, chaos_options, backend, strategy_mix,
     ) = payload
     importlib.import_module(module_name)
     scn = get_scenario(scenario_name)
@@ -181,6 +184,10 @@ def _execute_cell(
             intensity=float(chaos_options["intensity"]),  # type: ignore[arg-type]
             horizon=float(chaos_options["horizon"]),      # type: ignore[arg-type]
         )
+    if strategy_mix is not None:
+        from .. import strategy as _strategy
+
+        _strategy.install_mix(strategy_mix)
     try:
         while True:
             attempts += 1
@@ -204,6 +211,8 @@ def _execute_cell(
                     time.perf_counter() - start, attempts,
                 )
     finally:
+        if strategy_mix is not None:
+            _strategy.uninstall_mix()
         if chaos_options is not None:
             _chaos.uninstall()
         if audit_on:
@@ -232,6 +241,13 @@ class Runner:
     to install around every cell; chaotic results are deterministic, so
     they stay cacheable — under a digest that folds in the chaos
     options, disjoint from the clean run's.
+
+    ``strategy`` names a single :mod:`repro.strategy` strategy the whole
+    peer population runs; ``strategy_mix`` is the general name→fraction
+    form (optionally per population: ``{"mobile": {...}}``).  Either is
+    installed ambiently around every cell, and — like chaos — folded
+    into the spec hash and cell digests only when the mix is not the
+    pure-``reference`` default, so ordinary runs keep their addresses.
     """
 
     def __init__(
@@ -247,6 +263,8 @@ class Runner:
         chaos_intensity: float = 1.0,
         chaos_horizon: float = 300.0,
         backend: Optional[str] = None,
+        strategy: Optional[str] = None,
+        strategy_mix: Optional[Mapping[str, object]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -277,6 +295,20 @@ class Runner:
                 "intensity": float(chaos_intensity),
                 "horizon": float(chaos_horizon),
             }
+        if strategy is not None and strategy_mix is not None:
+            raise ValueError("pass either strategy or strategy_mix, not both")
+        self.strategy_mix: Optional[Dict[str, Dict[str, float]]] = None
+        mix_input = (
+            {"all": {strategy: 1.0}} if strategy is not None else strategy_mix
+        )
+        if mix_input is not None:
+            from .. import strategy as strategy_layer
+
+            # Validate eagerly (unknown names / bad fractions fail here);
+            # a pure-reference mix is the default and keeps digests as-is.
+            normalized = strategy_layer.normalize_mix(mix_input)
+            if not strategy_layer.mix_is_default(normalized):
+                self.strategy_mix = normalized
         # `is not None`, not truthiness: an empty registry is falsy (len 0).
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(clock=time.perf_counter)
@@ -302,6 +334,7 @@ class Runner:
             seeds=sorted({seed for _, seed in cells}),
             description=scn.description,
             backend=backend,
+            strategies=self.strategy_mix,
         )
 
         start = time.perf_counter()
@@ -337,6 +370,7 @@ class Runner:
             (
                 module_name, scn.name, list(key), seed, params, self.retries,
                 self.audit, self.cell_timeout, self.chaos_options, backend,
+                self.strategy_mix,
             )
             for key, seed in pending
         ]
@@ -422,6 +456,8 @@ def run_scenario(
     chaos_intensity: float = 1.0,
     chaos_horizon: float = 300.0,
     backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    strategy_mix: Optional[Mapping[str, object]] = None,
 ):
     """Run a registered scenario and return its ``ExperimentResult``.
 
@@ -433,6 +469,6 @@ def run_scenario(
         jobs=jobs, cache=cache, progress=progress, audit=audit,
         cell_timeout=cell_timeout, chaos=chaos,
         chaos_intensity=chaos_intensity, chaos_horizon=chaos_horizon,
-        backend=backend,
+        backend=backend, strategy=strategy, strategy_mix=strategy_mix,
     )
     return runner.run(name, overrides).result

@@ -63,6 +63,14 @@ class ScenarioSpec:
     hashes and cell digests byte-identical, while any other backend is
     folded into both — fluid results can never collide with (or shadow)
     packet-level ground truth in the cache.
+
+    ``strategies`` carries the canonical strategy mix
+    (:func:`repro.strategy.normalize_mix` output as canonical JSON) the
+    run installs around every cell; ``""`` is the default all-``reference``
+    population.  It is folded into :meth:`spec_hash` and
+    :func:`cell_digest` with the same only-when-non-default trick as the
+    backend, so every pre-strategy digest is unchanged while mixed runs
+    cache disjointly.
     """
 
     name: str
@@ -70,6 +78,7 @@ class ScenarioSpec:
     seeds: Tuple[int, ...] = ()
     description: str = field(default="", compare=False)
     backend: str = "packet"
+    strategies: str = ""
 
     @classmethod
     def create(
@@ -79,6 +88,7 @@ class ScenarioSpec:
         seeds: Sequence[int] = (),
         description: str = "",
         backend: str = "packet",
+        strategies: Optional[Mapping[str, object]] = None,
     ) -> "ScenarioSpec":
         if backend not in BACKENDS:
             raise ValueError(
@@ -90,6 +100,7 @@ class ScenarioSpec:
             seeds=tuple(int(s) for s in seeds),
             description=description,
             backend=backend,
+            strategies=canonical_json(dict(strategies)) if strategies else "",
         )
 
     @property
@@ -109,6 +120,8 @@ class ScenarioSpec:
         }
         if self.backend != "packet":
             body["backend"] = self.backend
+        if self.strategies:
+            body["strategies"] = json.loads(self.strategies)
         payload = canonical_json(body)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -159,7 +172,10 @@ def cell_digest(
     digests of ordinary runs stay byte-identical to what they were
     before chaos existed.  The spec's backend is folded in the same way
     (only when not ``"packet"``), so fluid-backend results live at
-    digests disjoint from every packet-level run.
+    digests disjoint from every packet-level run — and so is the spec's
+    strategy mix (only when non-default), keeping default-strategy cells
+    at their pre-strategy-layer addresses while every distinct mix gets
+    its own.
     """
     body: Dict[str, object] = {
         "scenario": spec.name,
@@ -172,5 +188,7 @@ def cell_digest(
         body["backend"] = spec.backend
     if chaos is not None:
         body["chaos"] = dict(chaos)
+    if spec.strategies:
+        body["strategies"] = json.loads(spec.strategies)
     payload = canonical_json(body)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,143 @@
+"""repro.strategy — pluggable client strategies and strategy mixes.
+
+The incentive layer made first-class: a
+:class:`~repro.strategy.base.ClientStrategy` bundles a
+:class:`~repro.strategy.base.ChokerPolicy` (the ranking/slot-allocation
+half of choking — round scheduling stays in the shared
+:class:`~repro.bittorrent.choker.ChokerDriver`), an optional piece
+selector and client behaviour overrides under one registry-resolved
+name.  Built-ins: ``reference`` (tit-for-tat), ``freerider``,
+``tyrant`` (BitTyrant-style) and ``propshare`` (Nielson et al.'s
+robust proportional-share choker).
+
+Strategies reach a swarm three ways, mirroring :mod:`repro.chaos`:
+
+Explicitly, per peer::
+
+    swarm.add_wired_peer("leech0", strategy="tyrant")
+
+As a scenario-level mix (name → fraction, optionally per population)::
+
+    swarm = SwarmScenario(seed=7, strategy_mix={"freerider": 0.25})
+
+Globally, for code that builds scenarios internally — the pattern the
+CLI's ``--strategy``/``--strategy-mix`` flags and the
+:class:`~repro.runner.Runner` use::
+
+    from repro import strategy
+
+    strategy.install_mix({"mobile": {"freerider": 0.5}})
+    try:
+        run_scenario(...)    # every new SwarmScenario draws from the mix
+    finally:
+        strategy.uninstall_mix()
+
+or equivalently ``with strategy.strategic({...}): ...``.  Strategy
+assignment is deterministic (no RNG), off by default, and costs one
+``is None`` check per scenario when off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .base import ChokerPolicy, ClientStrategy
+from .mix import (
+    DEFAULT_STRATEGY,
+    POPULATIONS,
+    Mix,
+    MixAssigner,
+    allocate_counts,
+    mix_is_default,
+    normalize_mix,
+)
+from .policies import (
+    FreeriderPolicy,
+    PropSharePolicy,
+    ReferencePolicy,
+    TyrantPolicy,
+    contribution_rate,
+)
+from .registry import (
+    UnknownStrategyError,
+    get_strategy,
+    register_strategy,
+    resolve_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "ChokerPolicy",
+    "ClientStrategy",
+    "DEFAULT_STRATEGY",
+    "FreeriderPolicy",
+    "Mix",
+    "MixAssigner",
+    "POPULATIONS",
+    "PropSharePolicy",
+    "ReferencePolicy",
+    "TyrantPolicy",
+    "UnknownStrategyError",
+    "allocate_counts",
+    "ambient_mix",
+    "contribution_rate",
+    "get_strategy",
+    "install_mix",
+    "mix_installed",
+    "mix_is_default",
+    "normalize_mix",
+    "register_strategy",
+    "resolve_strategy",
+    "strategic",
+    "strategy_names",
+    "uninstall_mix",
+]
+
+
+# ----------------------------------------------------------------------
+# Global default mix: every new SwarmScenario consults it, like chaos.
+# ----------------------------------------------------------------------
+_ambient_mix: Optional[Mix] = None
+
+
+def install_mix(mix) -> None:
+    """Assign the mix inside every *new* scenario until :func:`uninstall_mix`.
+
+    The mix is validated (and canonicalised) eagerly, so an unknown
+    strategy name or bad fraction fails at install time, not mid-run.
+    Installing an effectively-default mix (pure ``reference``) is a
+    no-op: scenarios see no mix at all, keeping the default simulation
+    trajectory byte-identical.
+    """
+    global _ambient_mix
+    normalized = normalize_mix(mix)
+    _ambient_mix = None if mix_is_default(normalized) else normalized
+
+
+def uninstall_mix() -> None:
+    """Stop assigning strategies to new scenarios."""
+    global _ambient_mix
+    _ambient_mix = None
+
+
+def mix_installed() -> bool:
+    """True when new scenarios get a strategy mix."""
+    return _ambient_mix is not None
+
+
+def ambient_mix() -> Optional[Mix]:
+    """The installed canonical mix, or ``None``."""
+    if _ambient_mix is None:
+        return None
+    return {pop: dict(weights) for pop, weights in _ambient_mix.items()}
+
+
+@contextmanager
+def strategic(mix) -> Iterator[Optional[Mix]]:
+    """Install a mix for the scenarios created inside the block."""
+    install_mix(mix)
+    try:
+        yield ambient_mix()
+    finally:
+        uninstall_mix()

@@ -1,0 +1,80 @@
+"""The strategy registry: named, resolvable client personalities."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .base import ClientStrategy
+from .policies import (
+    FreeriderPolicy,
+    PropSharePolicy,
+    ReferencePolicy,
+    TyrantPolicy,
+)
+
+
+class UnknownStrategyError(KeyError):
+    """Raised when a strategy name is not registered."""
+
+
+_STRATEGIES: Dict[str, ClientStrategy] = {}
+
+
+def register_strategy(strategy: ClientStrategy) -> ClientStrategy:
+    """Register (or replace) a strategy under its name."""
+    _STRATEGIES[strategy.name] = strategy
+    return strategy
+
+
+def get_strategy(name: str) -> ClientStrategy:
+    """The registered strategy, or :class:`UnknownStrategyError`."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(strategy_names())
+        raise UnknownStrategyError(
+            f"unknown strategy {name!r}; choose from {known}"
+        ) from None
+
+
+def strategy_names() -> List[str]:
+    """Registered strategy names, sorted."""
+    return sorted(_STRATEGIES)
+
+
+def resolve_strategy(
+    strategy: Optional[Union[str, ClientStrategy]]
+) -> Optional[ClientStrategy]:
+    """``None`` passes through; a name resolves through the registry."""
+    if strategy is None or isinstance(strategy, ClientStrategy):
+        return strategy
+    return get_strategy(strategy)
+
+
+register_strategy(ClientStrategy(
+    name="reference",
+    policy_factory=ReferencePolicy,
+    description="standard tit-for-tat choking (the paper's baseline client)",
+))
+
+register_strategy(ClientStrategy(
+    name="freerider",
+    policy_factory=FreeriderPolicy,
+    description="downloads but never uploads: zero unchoke slots, "
+                "hit-and-run exit on completion",
+    config_overrides={"unchoke_slots": 0, "keep_seeding": False},
+))
+
+register_strategy(ClientStrategy(
+    name="tyrant",
+    policy_factory=TyrantPolicy,
+    description="BitTyrant-style exploiter: reciprocation-cost estimator, "
+                "unchokes the cheapest sufficient peers, no optimistic slot",
+))
+
+register_strategy(ClientStrategy(
+    name="propshare",
+    policy_factory=PropSharePolicy,
+    description="proportional-share robust choker (Nielson et al.): ranked "
+                "slots drawn proportionally to contribution",
+))

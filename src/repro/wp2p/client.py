@@ -87,16 +87,22 @@ class WP2PClient(BitTorrentClient):
         name: Optional[str] = None,
         pr_schedule: Optional[PrSchedule] = None,
         initial_pieces=None,
+        strategy=None,
     ) -> None:
         wconfig = config or WP2PConfig()
         if selector is None and wconfig.mobility_aware_fetching:
+            # MA fetching outranks a strategy's selector preference: it is
+            # the wP2P component under test, while strategies primarily
+            # carry choking behaviour (which composes freely with it).
             selector = MobilityAwareSelector(pr_schedule)
         super().__init__(
             sim, host, torrent,
             complete=complete, selector=selector, config=wconfig, name=name,
-            initial_pieces=initial_pieces,
+            initial_pieces=initial_pieces, strategy=strategy,
         )
-        self.wconfig = wconfig
+        # The base constructor may have replaced the config with a copy
+        # carrying strategy overrides; keep wconfig pointing at the live one.
+        self.wconfig: WP2PConfig = self.config  # type: ignore[assignment]
         self.identity = IdentityRetention()
         self.identity.remember(torrent.info_hash, self.peer_id)
         if isinstance(self.selector, MobilityAwareSelector):

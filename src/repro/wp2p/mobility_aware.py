@@ -21,12 +21,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional, Sequence
 
-from ..bittorrent.selection import (
-    PieceSelector,
-    RarestFirstSelector,
-    SelectionContext,
-    SequentialSelector,
-)
+from ..bittorrent.selection import PieceSelector, SelectionContext, make_selector
 
 PrSchedule = Callable[[SelectionContext], float]
 
@@ -75,8 +70,10 @@ class MobilityAwareSelector(PieceSelector):
 
     def __init__(self, pr_schedule: Optional[PrSchedule] = None) -> None:
         self.pr_schedule = pr_schedule or linear_progress_schedule
-        self._rarest = RarestFirstSelector()
-        self._sequential = SequentialSelector()
+        # Registry-resolved, so replacing a registered built-in swaps the
+        # halves of the blend everywhere, this selector included.
+        self._rarest = make_selector("rarest-first")
+        self._sequential = make_selector("sequential")
         self.rarest_choices = 0
         self.sequential_choices = 0
         # Optional structured tracing (repro.obs.tracing.TraceBus), wired
