@@ -100,6 +100,27 @@ def test_packet_engine_e2e(benchmark, queue):
     benchmark.extra_info["subsystem"] = "packet_engine"
 
 
+def test_hybrid_engine_e2e(benchmark):
+    """One hybrid-backend cell end to end: 2 packet focal mobiles coupled
+    to a 10^4-peer fluid background.
+
+    ``events`` counts both resolutions (kernel events + fluid steps), so
+    the consolidated events-per-second tracks the co-simulation as one
+    engine across PRs.
+    """
+    from repro.experiments.figx_hybrid import FigXHybrid, hybrid_cell
+
+    def run():
+        return hybrid_cell(1, 10_000, 1.0, False, dict(FigXHybrid.defaults))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["completion"] is not None
+    assert result["couplings"] > 0
+    benchmark.extra_info["events"] = result["steps"]
+    benchmark.extra_info["peak_swarm"] = result["peak_swarm"]
+    benchmark.extra_info["subsystem"] = "hybrid_engine"
+
+
 def test_figx_scale_fluid_sweep(benchmark):
     """The full figx_scale sweep (up to 100k peers, 20% and 50% mobile)
     on the fluid backend — the acceptance budget is < 60 s."""

@@ -1,17 +1,22 @@
 #!/usr/bin/env python
-"""Cross-validate the fluid swarm tier against the packet simulator.
+"""Cross-validate the approximate swarm tiers against their references.
 
-Runs every matched scenario in :data:`repro.scale.validate.MATCHED_SCENARIOS`
-on both backends and checks the fluid model tracks packet-level
-completion time and mean goodput within the tolerance.  Exits non-zero
-on any miss, so CI catches calibration drift the moment the packet
-simulator's dynamics change.
+``--backend fluid`` (default) runs every matched scenario in
+:data:`repro.scale.validate.MATCHED_SCENARIOS` on both backends and
+checks the fluid model tracks packet-level completion time and mean
+goodput within the tolerance.  ``--backend hybrid`` runs the hybrid
+backend's two-sided gate instead: all-focal swarms must reproduce the
+pure packet backend *exactly*, and focal hosts embedded in a 10^4-peer
+background must match the pure-fluid class prediction within the same
+tolerance.  Exits non-zero on any miss, so CI catches calibration
+drift the moment either tier's dynamics change.
 
 Usage::
 
     PYTHONPATH=src python scripts/validate_scale.py
     PYTHONPATH=src python scripts/validate_scale.py --tolerance 0.10 --json
     PYTHONPATH=src python scripts/validate_scale.py --scenario mobile_wp2p
+    PYTHONPATH=src python scripts/validate_scale.py --backend hybrid
 """
 
 from __future__ import annotations
@@ -22,21 +27,27 @@ import sys
 
 from repro.scale.validate import (
     DEFAULT_TOLERANCE,
+    HYBRID_EMBEDDINGS,
     MATCHED_SCENARIOS,
     cross_validate,
+    hybrid_cross_validate,
 )
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="fluid-vs-packet cross-validation gate")
+        description="approximate-tier cross-validation gate")
+    parser.add_argument(
+        "--backend", choices=("fluid", "hybrid"), default="fluid",
+        help="which approximate tier to validate (default: fluid)")
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help=f"max relative error (default {DEFAULT_TOLERANCE:g})")
     parser.add_argument(
         "--scenario", action="append", default=None, metavar="NAME",
-        choices=[ms.name for ms in MATCHED_SCENARIOS],
-        help="restrict to one matched scenario (repeatable; default: all)")
+        choices=([ms.name for ms in MATCHED_SCENARIOS]
+                 + [emb.name for emb in HYBRID_EMBEDDINGS]),
+        help="restrict to one scenario (repeatable; default: all)")
     parser.add_argument(
         "--seeds", type=int, nargs="+", default=None, metavar="SEED",
         help="packet-simulator seeds to average (default: the standing set)")
@@ -44,20 +55,31 @@ def main(argv=None) -> int:
         "--json", action="store_true", help="emit the report as JSON")
     args = parser.parse_args(argv)
 
-    scenarios = None
-    if args.scenario:
-        scenarios = [ms for ms in MATCHED_SCENARIOS if ms.name in args.scenario]
     kwargs = {"tolerance": args.tolerance}
-    if scenarios is not None:
-        kwargs["scenarios"] = scenarios
     if args.seeds is not None:
         kwargs["seeds"] = args.seeds
-    report = cross_validate(**kwargs)
+    if args.backend == "hybrid":
+        if args.scenario:
+            kwargs["equivalence"] = [
+                ms for ms in MATCHED_SCENARIOS if ms.name in args.scenario
+            ]
+            kwargs["embeddings"] = [
+                emb for emb in HYBRID_EMBEDDINGS if emb.name in args.scenario
+            ]
+        report = hybrid_cross_validate(**kwargs)
+        labels = ("reference", "hybrid")
+    else:
+        if args.scenario:
+            kwargs["scenarios"] = [
+                ms for ms in MATCHED_SCENARIOS if ms.name in args.scenario
+            ]
+        report = cross_validate(**kwargs)
+        labels = ("packet", "fluid")
 
     if args.json:
         print(json.dumps(report.to_jsonable(), indent=2, sort_keys=True))
     else:
-        print(report.table())
+        print(report.table(labels=labels))
         print()
         print("PASSED" if report.passed else "FAILED",
               f"({len(report.rows)} comparisons, "

@@ -40,6 +40,10 @@ class PeerHandle:
     client: BitTorrentClient
     channel: Optional[WirelessChannel] = None
     mobility: Optional[MobilityController] = None
+    #: Excluded from wildcard/class chaos targets (still reachable by
+    #: exact name).  Set on synthetic aggregates like the hybrid
+    #: backend's background facade, whose faults are modelled elsewhere.
+    chaos_exempt: bool = False
 
     @property
     def wireless(self) -> bool:

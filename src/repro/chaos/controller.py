@@ -116,7 +116,13 @@ class ChaosController:
     # Target resolution (at fire time, so late-built peers are seen)
     # ------------------------------------------------------------------
     def _resolve(self, target: str) -> List[object]:
-        peers = self.scenario.peers
+        # Exempt handles (e.g. the hybrid backend's background facade,
+        # whose faults are modelled through the fluid engine) are only
+        # reachable by exact name, never by wildcard/class targets.
+        peers = {
+            name: h for name, h in self.scenario.peers.items()
+            if not getattr(h, "chaos_exempt", False)
+        }
         if target == "*":
             return list(peers.values())
         if target == "wired":
@@ -125,7 +131,7 @@ class ChaosController:
             return [h for h in peers.values() if h.wireless]
         if target == "mobile":
             return [h for h in peers.values() if h.mobility is not None]
-        handle = peers.get(target)
+        handle = self.scenario.peers.get(target)
         return [handle] if handle is not None else []
 
     # ------------------------------------------------------------------

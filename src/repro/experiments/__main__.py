@@ -47,24 +47,45 @@ from ..runner import (
 ALL_ORDER: List[str] = [
     "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
     "fig8a", "fig8b", "fig8c", "fig9c", "fig4bc", "fig9ab",
-    "figx_chaos", "figx_scale", "figx_arena",
+    "figx_chaos", "figx_scale", "figx_hybrid", "figx_arena",
 ]
 
 
 def _overrides_for(name: str, num_pieces: Optional[int],
                    sets: Optional[Dict[str, object]] = None,
-                   swarm_size: Optional[int] = None) -> Dict[str, object]:
-    """Merge --num-pieces / --swarm-size / --set into accepted overrides."""
+                   swarm_size: Optional[int] = None,
+                   focal_hosts: Optional[int] = None) -> Dict[str, object]:
+    """Merge --num-pieces / --swarm-size / --focal-hosts / --set into
+    accepted overrides.
+
+    A dedicated flag and a ``--set`` spelling of the same key is a
+    contradiction, not a precedence question: erroring out beats
+    silently ignoring one of the two values the user asked for.
+    """
     overrides: Dict[str, object] = dict(sets or {})
     defaults = get_scenario(name).defaults
+
+    def put(key: str, value: object, flag: str) -> None:
+        if key in overrides:
+            raise SystemExit(
+                f"error: {flag} conflicts with --set {key}=...; "
+                f"pass one or the other"
+            )
+        overrides[key] = value
+
     if num_pieces is not None and "num_pieces" in defaults:
-        overrides.setdefault("num_pieces", num_pieces)
+        put("num_pieces", num_pieces, "--num-pieces")
     if swarm_size is not None:
-        # figx_scale sweeps a list of sizes; a single --swarm-size pins it.
+        # figx_scale sweeps a list of sizes; a single --swarm-size pins
+        # it (figx_hybrid's equivalent axis is the background size).
         if "swarm_sizes" in defaults:
-            overrides.setdefault("swarm_sizes", [swarm_size])
+            put("swarm_sizes", [swarm_size], "--swarm-size")
+        elif "background_sizes" in defaults:
+            put("background_sizes", [swarm_size], "--swarm-size")
         elif "swarm_size" in defaults:
-            overrides.setdefault("swarm_size", swarm_size)
+            put("swarm_size", swarm_size, "--swarm-size")
+    if focal_hosts is not None and "focal_hosts" in defaults:
+        put("focal_hosts", focal_hosts, "--focal-hosts")
     return overrides
 
 
@@ -230,7 +251,8 @@ def _cmd_run(args) -> None:
                 run = runner.run(
                     name,
                     _overrides_for(name, args.num_pieces, sets,
-                                   swarm_size=args.swarm_size),
+                                   swarm_size=args.swarm_size,
+                                   focal_hosts=args.focal_hosts),
                 )
             except ValueError as exc:
                 raise SystemExit(f"error: {exc}") from None
@@ -290,12 +312,18 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="piece count for fig4bc/fig9ab (20 or 400)")
     parser.add_argument("--backend", choices=list(BACKENDS), default=None,
                         help="simulation tier: 'packet' (event-level ground "
-                             "truth) or 'fluid' (repro.scale mean-field "
-                             "engine for very large swarms); default: the "
-                             "scenario's preferred backend")
+                             "truth), 'fluid' (repro.scale mean-field "
+                             "engine for very large swarms), or 'hybrid' "
+                             "(packet-level focal hosts inside a fluid "
+                             "background); default: the scenario's "
+                             "preferred backend")
     parser.add_argument("--swarm-size", type=int, default=None, metavar="N",
                         help="pin the swarm size for scenarios that sweep it "
-                             "(figx_scale: replaces the size grid with [N])")
+                             "(figx_scale: replaces the size grid with [N]; "
+                             "figx_hybrid: pins the background size)")
+    parser.add_argument("--focal-hosts", type=int, default=None, metavar="N",
+                        help="number of packet-level focal hosts for "
+                             "hybrid-backend scenarios (figx_hybrid)")
     parser.add_argument("--chart", action="store_true",
                         help="also render an ASCII chart of the series")
     parser.add_argument("--trace", metavar="PATH", default=None,

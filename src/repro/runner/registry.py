@@ -130,6 +130,30 @@ class Scenario:
             f"(supported: {', '.join(self.backends)})"
         )
 
+    def run_cell_hybrid(
+        self, key: CellKey, seed: int, params: Mapping[str, object]
+    ) -> object:
+        """Run one cell on the hybrid multi-resolution backend
+        (:mod:`repro.scale.hybrid`: packet focal hosts in a fluid
+        background).  Only scenarios listing ``"hybrid"`` in
+        :attr:`backends` implement this."""
+        raise NotImplementedError(
+            f"scenario {self.name!r} has no hybrid backend "
+            f"(supported: {', '.join(self.backends)})"
+        )
+
+    def cell_runner(self, backend: str):
+        """The per-cell entry point for ``backend`` (validated name)."""
+        runners = {
+            "packet": self.run_cell,
+            "fluid": self.run_cell_fluid,
+            "hybrid": self.run_cell_hybrid,
+        }
+        try:
+            return runners[backend]
+        except KeyError:
+            raise ValueError(f"unknown backend {backend!r}") from None
+
     def assemble(
         self,
         params: Mapping[str, object],

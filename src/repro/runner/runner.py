@@ -168,7 +168,7 @@ def _execute_cell(
     ) = payload
     importlib.import_module(module_name)
     scn = get_scenario(scenario_name)
-    run_cell = scn.run_cell if backend == "packet" else scn.run_cell_fluid
+    run_cell = scn.cell_runner(backend)
     key = tuple(key_list)
     attempts = 0
     start = time.perf_counter()

@@ -21,8 +21,10 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 #: The simulation backends a scenario can run on.  ``"packet"`` is the
 #: packet-level discrete-event simulator (the ground truth); ``"fluid"``
-#: is the :mod:`repro.scale` mean-field engine for very large swarms.
-BACKENDS: Tuple[str, ...] = ("packet", "fluid")
+#: is the :mod:`repro.scale` mean-field engine for very large swarms;
+#: ``"hybrid"`` couples packet-level focal hosts to a fluid background
+#: (:mod:`repro.scale.hybrid`).
+BACKENDS: Tuple[str, ...] = ("packet", "fluid", "hybrid")
 
 
 def canonical_json(value: object) -> str:

@@ -44,6 +44,14 @@ from .chaosmap import (
     schedule_modifiers,
 )
 from .fluid import FluidSwarm, run_fluid
+from .hybrid import (
+    FACADE_NAME,
+    FocalResult,
+    HybridResult,
+    HybridSpec,
+    HybridSwarm,
+    run_hybrid,
+)
 from .model import (
     ClassResult,
     FluidParams,
@@ -54,21 +62,33 @@ from .model import (
 )
 from .validate import (
     DEFAULT_TOLERANCE,
+    EQUIVALENCE_TOLERANCE,
+    HYBRID_EMBEDDINGS,
     MATCHED_SCENARIOS,
+    HybridEmbedding,
     MatchedScenario,
     Observation,
     ValidationReport,
     ValidationRow,
     cross_validate,
+    hybrid_cross_validate,
 )
 
 __all__ = [
     "ClassResult",
     "CrashImpulse",
     "DEFAULT_TOLERANCE",
+    "EQUIVALENCE_TOLERANCE",
+    "FACADE_NAME",
     "FluidParams",
     "FluidResult",
     "FluidSwarm",
+    "FocalResult",
+    "HYBRID_EMBEDDINGS",
+    "HybridEmbedding",
+    "HybridResult",
+    "HybridSpec",
+    "HybridSwarm",
     "MATCHED_SCENARIOS",
     "MatchedScenario",
     "Observation",
@@ -79,7 +99,9 @@ __all__ = [
     "class_matches",
     "cross_validate",
     "expected_prefix_fraction",
+    "hybrid_cross_validate",
     "playability_surrogate",
     "run_fluid",
+    "run_hybrid",
     "schedule_modifiers",
 ]

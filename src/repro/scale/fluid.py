@@ -111,12 +111,23 @@ class FluidSwarm:
         self._active_window_count = 0
         self._utilization_sum = 0.0
         self._utilization_steps = 0
+        self._next_sample = 0.0
+        self._next_impulse = 0
+        #: Boundary source terms (B/s) injected by a co-simulation driver
+        #: (the hybrid backend): extra upload capacity offered to, and
+        #: extra download demand placed on, the background swarm.  Both
+        #: default to 0.0, which leaves pure-fluid runs bit-identical.
+        self.external_supply = 0.0
+        self.external_demand = 0.0
+        #: Boundary observables refreshed by every :meth:`_step`.
+        self.last_supply = 0.0
+        self.last_demand = 0.0
+        self.last_utilization = 1.0
 
     # ------------------------------------------------------------------
     def run(self) -> FluidResult:
         """Integrate until every leecher class completes (or ``max_time``)."""
         params = self.params
-        started = _time.perf_counter()
         if self.trace.enabled:
             self.trace.event(
                 "scale", "engine_start",
@@ -125,28 +136,43 @@ class FluidSwarm:
                 dt=params.dt,
                 chaos_windows=len(self.windows),
             )
-        next_sample = 0.0
-        next_impulse = 0
-        while self.t < params.max_time:
-            if self._finished():
+        self.advance(params.max_time, stop_when_finished=True)
+        return self.finish()
+
+    def advance(self, until: float, *, stop_when_finished: bool = False) -> None:
+        """Integrate forward until model time reaches ``until``.
+
+        Incremental driver used both by :meth:`run` and by co-simulation
+        (the hybrid backend calls ``advance`` once per coupling interval,
+        refreshing :attr:`external_supply`/:attr:`external_demand` between
+        calls).  Sampling and crash-impulse cursors live on the instance,
+        so successive calls continue exactly where the last one stopped.
+        """
+        params = self.params
+        started = _time.perf_counter()
+        while self.t < until:
+            if stop_when_finished and self._finished():
                 break
             # Crash impulses scheduled inside this step fire first.
             while (
-                next_impulse < len(self.impulses)
-                and self.impulses[next_impulse].t < self.t + params.dt
+                self._next_impulse < len(self.impulses)
+                and self.impulses[self._next_impulse].t < self.t + params.dt
             ):
-                self._fire_impulse(self.impulses[next_impulse])
-                next_impulse += 1
-            if self.t + 1e-12 >= next_sample:
+                self._fire_impulse(self.impulses[self._next_impulse])
+                self._next_impulse += 1
+            if self.t + 1e-12 >= self._next_sample:
                 for state in self._states:
                     state.samples.append((self.t, state.progress))
-                next_sample += params.sample_interval
+                self._next_sample += params.sample_interval
             self._step(params.dt)
             self.t += params.dt
             self.steps += 1
+        self.wall_seconds += _time.perf_counter() - started
+
+    def finish(self) -> FluidResult:
+        """Record tail samples and summary metrics, and build the result."""
         for state in self._states:
             state.samples.append((self.t, state.progress))
-        self.wall_seconds = _time.perf_counter() - started
         self.metrics.counter("scale.steps").add(self.steps)
         self.metrics.gauge("scale.horizon").set(self.t)
         if self.trace.enabled:
@@ -165,22 +191,49 @@ class FluidSwarm:
             s.complete for s in self._states if not s.cls.seed
         ) and all(s.cls.arrival_rate == 0.0 for s in self._states)
 
+    @property
+    def finished(self) -> bool:
+        """True once every leecher class has completed (no open arrivals)."""
+        return self._finished()
+
+    def availability_proxy(self) -> float:
+        """Aggregate piece availability the background presents outward.
+
+        1.0 while any seed/complete class is still alive (every piece is
+        somewhere in the swarm); otherwise the best class-mean progress.
+        """
+        best = 0.0
+        for state in self._states:
+            if (state.cls.seed or state.complete) and state.alive > 0.0:
+                return 1.0
+            best = max(best, state.progress)
+        return best
+
     def _fire_impulse(self, impulse: CrashImpulse) -> None:
         for state in self._states:
             if not class_matches(state.cls, impulse.target):
                 continue
-            amount = state.online
+            # The impulse hits everything it can reach: the online mass
+            # plus anything already parked in recovery pools from earlier
+            # crashes — otherwise back-to-back impulses strand pool mass
+            # (non-permanent) or leave it alive forever (permanent).
+            amount = state.online + state.offline
             if amount <= 0.0:
                 continue
-            state.online = 0.0
+            rate = (1.0 / impulse.downtime) if impulse.downtime > 0 else 0.0
             if impulse.permanent:
+                state.online = 0.0
+                state.pools = []
                 state.alive -= amount
+            elif rate > 0.0:
+                state.online = 0.0
+                state.pools = [[amount, rate]]
             else:
-                rate = (1.0 / impulse.downtime) if impulse.downtime > 0 else 0.0
-                if rate > 0.0:
-                    state.pools.append([amount, rate])
-                else:
-                    state.online = amount  # zero-downtime crash is a no-op
+                # Zero-downtime transient crash: nothing moves; pools
+                # keep recovering at their original rates.
+                amount = state.online
+                if amount <= 0.0:
+                    continue
             self.metrics.counter("scale.crashes").add(amount)
             if self.trace.enabled:
                 self.trace.event(
@@ -293,11 +346,19 @@ class FluidSwarm:
             demand_total += state.online * availability * d_cap
             per_class.append((state, d_cap, availability, efficiency_factor))
 
+        # Boundary flows from a co-simulation driver (zero for pure-fluid
+        # runs, so adding them keeps results bit-identical).
+        supply_total += self.external_supply
+        demand_total += self.external_demand
+
         utilization = 0.0
         if demand_total > 0.0:
             utilization = min(1.0, supply_total / demand_total)
             self._utilization_sum += utilization
             self._utilization_steps += 1
+        self.last_supply = supply_total
+        self.last_demand = demand_total
+        self.last_utilization = utilization if demand_total > 0.0 else 1.0
 
         if self._active_window_count != active_count and self.trace.enabled:
             self.trace.event(

@@ -29,6 +29,7 @@ from ..bittorrent import ClientConfig
 from ..bittorrent.swarm import SwarmScenario
 from ..wp2p import WP2PClient
 from .fluid import FluidSwarm
+from .hybrid import HybridSpec, run_hybrid
 from .model import FluidParams, PeerClass
 
 #: Maximum relative error at which the fluid tier is considered anchored.
@@ -36,6 +37,16 @@ DEFAULT_TOLERANCE = 0.15
 
 #: Packet-simulator seeds averaged per scenario (smooths protocol noise).
 DEFAULT_SEEDS: Tuple[int, ...] = (11, 12)
+
+#: Tolerance for the hybrid all-focal equivalence gate: with an empty
+#: background the hybrid builder constructs the matched packet swarm
+#: event for event, so the agreement must be exact, not approximate.
+EQUIVALENCE_TOLERANCE = 1e-9
+
+#: Reference magnitude below which :attr:`ValidationRow.rel_error`
+#: switches to an absolute comparison (both metrics — seconds and
+#: bytes/second — are far above 1.0 whenever they are meaningful).
+REL_ERROR_ATOL = 1.0
 
 
 @dataclass(frozen=True)
@@ -165,6 +176,40 @@ class MatchedScenario:
         )
 
 
+    def hybrid_spec(self) -> HybridSpec:
+        """This swarm as an all-focal (zero-background) hybrid spec."""
+        return HybridSpec(
+            focal_seeds=self.seeds,
+            focal_wired=self.wired,
+            focal_mobile=self.mobile,
+            wp2p=self.wp2p,
+            file_size=self.file_size,
+            piece_length=self.piece_length,
+            seed_up_rate=self.seed_up_rate,
+            wired_up_rate=self.wired_up_rate,
+            wired_down_rate=self.wired_down_rate,
+            mobile_up_rate=self.mobile_up_rate,
+            wireless_rate=self.wireless_rate,
+            handoff_interval=self.handoff_interval,
+            handoff_downtime=self.handoff_downtime,
+            restart_delay=self.restart_delay,
+            max_time=self.max_time,
+        )
+
+    def hybrid_observation(self, seed: int) -> Observation:
+        """Run this swarm all-focal on the hybrid backend.
+
+        With no background the hybrid builder must construct the packet
+        swarm event for event, so this is expected to equal
+        :meth:`packet_observation` exactly (the
+        :data:`EQUIVALENCE_TOLERANCE` gate)."""
+        result = run_hybrid(self.hybrid_spec(), seed=seed)
+        return Observation(
+            completion_time=result.focal_completion_time(),
+            mean_goodput=result.focal_mean_goodput(),
+        )
+
+
 #: The standing matched set run by ``scripts/validate_scale.py`` and CI.
 MATCHED_SCENARIOS: Tuple[MatchedScenario, ...] = (
     MatchedScenario(
@@ -199,9 +244,13 @@ class ValidationRow:
 
     @property
     def rel_error(self) -> float:
-        if self.packet == 0.0:
-            return 0.0 if self.fluid == 0.0 else float("inf")
-        return abs(self.fluid - self.packet) / abs(self.packet)
+        # Near-zero references switch to an absolute-tolerance floor:
+        # a 0.0 packet reference with a nonzero fluid value is a real
+        # miss, but an infinite ratio poisons table()/--json output
+        # (JSON has no Infinity) without saying anything more than
+        # "the absolute difference is the whole story".
+        return abs(self.fluid - self.packet) / max(abs(self.packet),
+                                                   REL_ERROR_ATOL)
 
     @property
     def ok(self) -> bool:
@@ -235,13 +284,17 @@ class ValidationReport:
             "rows": [row.to_jsonable() for row in self.rows],
         }
 
-    def table(self) -> str:
-        header = (f"{'scenario':<16}{'metric':<18}{'packet':>12}"
-                  f"{'fluid':>12}{'rel err':>10}  verdict")
+    def table(self, labels: Tuple[str, str] = ("packet", "fluid")) -> str:
+        """Fixed-width report; ``labels`` renames the two value columns
+        (the hybrid gate compares *reference* vs *hybrid* instead of
+        packet vs fluid, same row structure)."""
+        reference, observed = labels
+        header = (f"{'scenario':<22}{'metric':<18}{reference:>12}"
+                  f"{observed:>12}{'rel err':>10}  verdict")
         lines = [header, "-" * len(header)]
         for row in self.rows:
             lines.append(
-                f"{row.scenario:<16}{row.metric:<18}{row.packet:>12.2f}"
+                f"{row.scenario:<22}{row.metric:<18}{row.packet:>12.2f}"
                 f"{row.fluid:>12.2f}{row.rel_error:>9.1%}  "
                 f"{'ok' if row.ok else 'FAIL'}"
             )
@@ -283,4 +336,155 @@ def cross_validate(
             packet=packet.mean_goodput, fluid=fluid.mean_goodput,
             tolerance=tolerance,
         ))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Hybrid-backend validation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HybridEmbedding:
+    """Focal packet hosts embedded in a large fluid background.
+
+    The reference is the *pure-fluid* prediction for the focal hosts,
+    obtained by folding them into the background integration as one
+    more peer class; the observation is what the packet-level focal
+    hosts actually achieve through the coupling facade.  Agreement
+    within :data:`DEFAULT_TOLERANCE` is the hybrid tier's warranty that
+    the boundary-flow translation neither starves nor over-serves the
+    focal hosts relative to the calibrated mean-field dynamics.
+    """
+
+    name: str
+    description: str
+    focal_mobile: int = 2
+    wp2p: bool = False
+    background_seeds: float = 2_000.0
+    background_wired: float = 8_000.0
+    handoff_interval: Optional[float] = 40.0
+    file_size: int = 1 << 20
+    piece_length: int = 1 << 16
+    max_time: float = 3_600.0
+
+    def spec(self) -> HybridSpec:
+        return HybridSpec(
+            focal_seeds=0,
+            focal_mobile=self.focal_mobile,
+            wp2p=self.wp2p,
+            background_seeds=self.background_seeds,
+            background_wired=self.background_wired,
+            handoff_interval=self.handoff_interval,
+            file_size=self.file_size,
+            piece_length=self.piece_length,
+            max_time=self.max_time,
+        )
+
+    def fluid_reference(self) -> Observation:
+        """Pure-fluid prediction with the focal hosts as a peer class."""
+        spec = self.spec()
+        classes = list(spec.background_params().classes)
+        classes.append(PeerClass(
+            "focal_mobile", float(self.focal_mobile),
+            spec.mobile_up_rate, spec.wireless_rate,
+            mobile=True, wp2p=self.wp2p, wireless_shared=True,
+            handoff_interval=spec.handoff_interval,
+            handoff_downtime=spec.handoff_downtime,
+            restart_delay=spec.restart_delay,
+            selection="inorder" if self.wp2p else "rarest",
+        ))
+        params = FluidParams(
+            file_size=self.file_size,
+            piece_length=self.piece_length,
+            classes=tuple(classes),
+            max_time=self.max_time,
+        )
+        result = FluidSwarm(params).run()
+        cr = result.classes["focal_mobile"]
+        completion = (cr.completion_time if cr.completion_time is not None
+                      else self.max_time)
+        return Observation(completion_time=completion,
+                           mean_goodput=cr.mean_goodput)
+
+    def hybrid_observation(self, seed: int) -> Observation:
+        result = run_hybrid(self.spec(), seed=seed)
+        return Observation(
+            completion_time=result.focal_completion_time(),
+            mean_goodput=result.focal_mean_goodput(),
+        )
+
+
+#: The standing embedding set: 10^4-peer background, default vs wP2P
+#: focal mobiles — the regimes Figure 4/9 measure at tens of peers,
+#: re-asked at fluid scale.
+HYBRID_EMBEDDINGS: Tuple[HybridEmbedding, ...] = (
+    HybridEmbedding(
+        name="embed_default",
+        description=("2 default-client mobile focal hosts handing off "
+                     "every 40 s inside a 10^4-peer background"),
+    ),
+    HybridEmbedding(
+        name="embed_wp2p",
+        description="same focal hosts on wP2P (identity retention + LIHD)",
+        wp2p=True,
+    ),
+)
+
+
+def _mean_observation(observations: Sequence[Observation]) -> Observation:
+    return Observation(
+        completion_time=(sum(o.completion_time for o in observations)
+                         / len(observations)),
+        mean_goodput=(sum(o.mean_goodput for o in observations)
+                      / len(observations)),
+    )
+
+
+def hybrid_cross_validate(
+    tolerance: float = DEFAULT_TOLERANCE,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    equivalence: Optional[Sequence[MatchedScenario]] = None,
+    embeddings: Optional[Sequence[HybridEmbedding]] = None,
+) -> ValidationReport:
+    """The hybrid backend's two-sided warranty card.
+
+    * **equivalence rows** — every matched scenario run all-focal on
+      the hybrid backend against the pure packet backend, gated at
+      :data:`EQUIVALENCE_TOLERANCE` (exact by construction);
+    * **embedding rows** — focal hosts inside a large background
+      against the pure-fluid class prediction, gated at ``tolerance``.
+
+    Rows reuse the :class:`ValidationRow` structure with ``packet``
+    holding the reference value and ``fluid`` the hybrid observation
+    (render with ``report.table(labels=("reference", "hybrid"))``).
+    """
+    if equivalence is None:
+        equivalence = MATCHED_SCENARIOS
+    if embeddings is None:
+        embeddings = HYBRID_EMBEDDINGS
+    if not seeds:
+        raise ValueError("need at least one packet-simulator seed")
+    report = ValidationReport()
+    for ms in equivalence:
+        packet = _mean_observation([ms.packet_observation(s) for s in seeds])
+        hybrid = _mean_observation([ms.hybrid_observation(s) for s in seeds])
+        for metric, ref, obs in (
+            ("completion_time", packet.completion_time, hybrid.completion_time),
+            ("mean_goodput", packet.mean_goodput, hybrid.mean_goodput),
+        ):
+            report.rows.append(ValidationRow(
+                scenario=f"focal:{ms.name}", metric=metric,
+                packet=ref, fluid=obs, tolerance=EQUIVALENCE_TOLERANCE,
+            ))
+    for emb in embeddings:
+        reference = emb.fluid_reference()
+        hybrid = _mean_observation([emb.hybrid_observation(s) for s in seeds])
+        for metric, ref, obs in (
+            ("completion_time", reference.completion_time,
+             hybrid.completion_time),
+            ("mean_goodput", reference.mean_goodput, hybrid.mean_goodput),
+        ):
+            report.rows.append(ValidationRow(
+                scenario=emb.name, metric=metric,
+                packet=ref, fluid=obs, tolerance=tolerance,
+            ))
     return report

@@ -17,7 +17,7 @@ from repro.runner import scenario_names
 FIGURES = {
     "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
     "fig4bc", "fig8a", "fig8b", "fig8c", "fig9ab", "fig9c",
-    "figx_arena", "figx_chaos", "figx_scale",
+    "figx_arena", "figx_chaos", "figx_hybrid", "figx_scale",
 }
 
 
@@ -82,6 +82,27 @@ class TestRunCommand:
     def test_bad_set_syntax_exits(self):
         with pytest.raises(SystemExit):
             main(["run", "fig2bc", "--no-cache", "--quiet", "--set", "duration"])
+
+
+class TestOverrideConflicts:
+    """A dedicated flag and a --set spelling of the same key must be an
+    explicit error, not a silent precedence decision."""
+
+    def test_swarm_size_conflicts_with_set_swarm_sizes(self):
+        with pytest.raises(SystemExit, match="--swarm-size conflicts"):
+            main(["run", "figx_scale", "--no-cache", "--quiet",
+                  "--swarm-size", "500", "--set", "swarm_sizes=[1000]"])
+
+    def test_swarm_size_conflicts_with_set_background_sizes(self):
+        # figx_hybrid spells the same axis "background_sizes".
+        with pytest.raises(SystemExit, match="background_sizes"):
+            main(["run", "figx_hybrid", "--no-cache", "--quiet",
+                  "--swarm-size", "500", "--set", "background_sizes=[1000]"])
+
+    def test_focal_hosts_conflicts_with_set(self):
+        with pytest.raises(SystemExit, match="--focal-hosts conflicts"):
+            main(["run", "figx_hybrid", "--no-cache", "--quiet",
+                  "--focal-hosts", "2", "--set", "focal_hosts=3"])
 
 
 class TestLegacySpellings:
