@@ -134,6 +134,60 @@ def _fuzz_chaos(rng: random.Random, seed: int, duration: float, verbose: bool) -
     return desc
 
 
+def _fuzz_coded(rng: random.Random, seed: int, duration: float, verbose: bool) -> str:
+    """One randomized erasure-coded swarm, sometimes custody-seeded and
+    sometimes churned, with the coded-bookkeeping checker armed.
+
+    The audit recomputes group counts / decodable flags / decoded bytes
+    from the raw bitfield each sweep, so any drift in the piece
+    manager's incremental group accounting fails the run.
+    """
+    from repro.bittorrent.selection import make_selector
+    from repro.bittorrent.swarm import SwarmScenario
+    from repro.chaos import preset_schedule
+    from repro.coding import coded_file_size
+
+    n = rng.choice([3, 4, 6])
+    k = rng.randint(max(1, n - 3), n - 1)
+    source = rng.choice([256 * 1024, 512 * 1024])
+    custody = rng.random() < 0.5
+    churned = rng.random() < 0.4
+
+    scenario = SwarmScenario(
+        seed=seed,
+        file_size=coded_file_size(source, k, n),
+        piece_length=16_384,
+        content=f"group:{k}/{n}",
+    )
+    if churned:
+        scenario.add_chaos(
+            preset_schedule("churn", intensity=1.5, horizon=duration * 0.8)
+        )
+    if custody:
+        custodians = rng.randint(2, 3)
+        for j in range(custodians):
+            scenario.add_wired_peer(
+                f"cust{j}",
+                initial_pieces=scenario.custody_pieces(j, custodians),
+                selector=make_selector("hold"),
+                up_rate=100_000.0,
+            )
+    else:
+        custodians = 0
+        scenario.add_wired_peer("seed0", complete=True, up_rate=200_000.0)
+    scenario.add_wired_peer("leech0")
+    scenario.add_wireless_peer("mobile0")
+    desc = (
+        f"coded(k={k}, n={n}, source={source // 1024}KiB, "
+        f"custody={custodians or False}, churned={churned})"
+    )
+    if verbose:
+        print(f"  {desc}", file=sys.stderr)
+    scenario.start_all()
+    scenario.run(until=duration)
+    return desc
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=10, metavar="N",
@@ -146,6 +200,8 @@ def main(argv: List[str] | None = None) -> int:
                         help="print each run's drawn configuration")
     parser.add_argument("--chaos", action="store_true",
                         help="fuzz chaos-schedule runs only (seeded preset sweep)")
+    parser.add_argument("--coded", action="store_true",
+                        help="fuzz erasure-coded swarms only (repro.coding)")
     args = parser.parse_args(argv)
 
     violations = 0
@@ -156,14 +212,18 @@ def main(argv: List[str] | None = None) -> int:
         rng = random.Random(seed)
         if args.chaos:
             fuzz = _fuzz_chaos
+        elif args.coded:
+            fuzz = _fuzz_coded
         else:
             draw = rng.random()
-            if draw < 0.35:
+            if draw < 0.3:
                 fuzz = _fuzz_pair
-            elif draw < 0.8:
+            elif draw < 0.65:
                 fuzz = _fuzz_swarm
-            else:
+            elif draw < 0.85:
                 fuzz = _fuzz_chaos
+            else:
+                fuzz = _fuzz_coded
         print(f"[{i + 1}/{args.seeds}] seed={seed} {fuzz.__name__}",
               file=sys.stderr)
         desc = "?"

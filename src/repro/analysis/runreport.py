@@ -25,7 +25,10 @@ from typing import Dict, List, Mapping, Optional, Sequence
 TraceRecord = Mapping[str, object]
 
 #: Rendering order for the library's layers; unknown layers sort after.
-LAYER_ORDER = ("sim", "net", "tcp", "bittorrent", "wp2p", "app")
+LAYER_ORDER = (
+    "sim", "net", "tcp", "bittorrent", "wp2p", "app",
+    "strategy", "coding", "chaos", "scale",
+)
 
 
 def _layer_key(layer: str) -> tuple:
@@ -159,6 +162,34 @@ def render_report(
                 f"{key}={_fmt_value(value)}" for key, value in snap.items()
             )
             lines.append(f"| `{name}` | {kind} | {detail} |")
+        lines.append("")
+
+    # ------------------------------------------------------------------
+    # Fault recovery (MTTR) — present when chaos ran with tracing on
+    # ------------------------------------------------------------------
+    recovered = [
+        r for r in events
+        if r.get("layer") == "chaos" and r.get("event") == "recovered"
+    ]
+    if recovered:
+        mttrs = [float(r.get("mttr", 0.0)) for r in recovered]
+        lines += [
+            "## Fault recovery (MTTR)",
+            "",
+            f"- **Recovered faults:** {len(recovered)}",
+            f"- **Mean MTTR:** {sum(mttrs) / len(mttrs):.4f}s",
+            f"- **Max MTTR:** {max(mttrs):.4f}s",
+            "",
+            "| recovered at (s) | fault | target | baseline (B/s) | MTTR (s) |",
+            "|---:|---|---|---:|---:|",
+        ]
+        for r in recovered:
+            lines.append(
+                f"| {float(r.get('t', 0.0)):.4f} | `{r.get('fault', '?')}` "
+                f"| `{r.get('target', '?')}` "
+                f"| {_fmt_value(r.get('baseline', 0.0))} "
+                f"| {float(r.get('mttr', 0.0)):.4f} |"
+            )
         lines.append("")
 
     # ------------------------------------------------------------------

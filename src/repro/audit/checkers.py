@@ -287,6 +287,41 @@ def check_client(client, received_from) -> Iterator[str]:
                 f"{peer_id} but only {delivered} were received from it"
             )
 
+    codec = getattr(manager, "codec", None)
+    if codec is not None and not codec.trivial:
+        # Grouped codec: the manager's incremental group bookkeeping must
+        # agree with a from-scratch recount of the bitfield.
+        counts = codec.group_counts(bitfield)
+        if manager._group_have != counts:
+            yield (
+                f"client {name}: incremental group counts "
+                f"{manager._group_have} disagree with bitfield recount "
+                f"{counts}"
+            )
+        decodable = [c >= codec.required(g) for g, c in enumerate(counts)]
+        if manager._decodable != decodable:
+            yield (
+                f"client {name}: decodable flags {manager._decodable} "
+                f"disagree with recount {decodable}"
+            )
+        if manager._decodable_count != sum(decodable):
+            yield (
+                f"client {name}: _decodable_count="
+                f"{manager._decodable_count} but {sum(decodable)} groups "
+                f"are decodable"
+            )
+        if manager.complete != codec.is_complete(bitfield):
+            yield (
+                f"client {name}: manager.complete={manager.complete} but "
+                f"codec.is_complete={codec.is_complete(bitfield)}"
+            )
+        if manager.source_bytes_decoded != codec.decoded_bytes(bitfield):
+            yield (
+                f"client {name}: source_bytes_decoded="
+                f"{manager.source_bytes_decoded} but codec recovers "
+                f"{codec.decoded_bytes(bitfield)} bytes"
+            )
+
 
 # ----------------------------------------------------------------------
 # wp2p layer

@@ -29,6 +29,7 @@ from .peer import PeerConnection
 from .piece_manager import PieceManager
 from .rate import TokenBucket
 from .selection import (
+    HoldSelector,
     PieceSelector,
     RandomSelector,
     RarestFirstSelector,
@@ -73,6 +74,7 @@ __all__ = [
     "PeerConnection",
     "PieceManager",
     "TokenBucket",
+    "HoldSelector",
     "PieceSelector",
     "RandomSelector",
     "RarestFirstSelector",

@@ -89,6 +89,10 @@ class ClientConfig:
 
 IPChangePolicy = Callable[["BitTorrentClient", Optional[str], Optional[str]], None]
 
+#: Backoff ceiling for failed announces when neither the client config
+#: nor a past tracker response pins an announce interval.
+DEFAULT_ANNOUNCE_BACKOFF_CAP = 120.0
+
 
 def default_restart_policy(
     client: "BitTorrentClient", old: Optional[str], new: Optional[str]
@@ -112,6 +116,7 @@ class BitTorrentClient:
         name: Optional[str] = None,
         initial_pieces=None,
         strategy: Optional[Union[str, ClientStrategy]] = None,
+        codec=None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -141,7 +146,15 @@ class BitTorrentClient:
             rng=sim.rng.stream(f"client.{self.name}.verify"),
             trace=sim.trace,
             owner=self.name,
+            codec=codec,
         )
+        # Coded content gets PeerDAS-style availability sampling; the
+        # default (trivial) codec attaches nothing.
+        self._availability_sampler = None
+        if not self.manager.codec.trivial:
+            from ..coding.sampling import AvailabilitySampler
+
+            self._availability_sampler = AvailabilitySampler(self)
         stack = host.transport
         self.stack: TCPStack = stack if isinstance(stack, TCPStack) else TCPStack(sim, host)
 
@@ -182,6 +195,9 @@ class BitTorrentClient:
         self.completion_time: Optional[float] = None
         self.task_restarts = 0
         self.announce_count = 0
+        self._announce_failures = 0
+        self._tracker_interval_hint: Optional[float] = None
+        self._backoff_rng = None
 
         self._sweep = PeriodicTask(sim, self.config.sweep_interval, self._on_sweep)
         self._announce_event = None
@@ -205,6 +221,8 @@ class BitTorrentClient:
         self.stack.listen(self.config.listen_port, self._accept)
         self.choker.start()
         self._sweep.start(first_delay=self.config.sweep_interval)
+        if self._availability_sampler is not None:
+            self._availability_sampler.start()
         self.announce(EVENT_STARTED)
 
     def stop(self, announce: bool = True) -> None:
@@ -216,6 +234,8 @@ class BitTorrentClient:
             self._send_announce(EVENT_STOPPED, fire_and_forget=True)
         self.choker.stop()
         self._sweep.stop()
+        if self._availability_sampler is not None:
+            self._availability_sampler.stop()
         self.sim.cancel(self._announce_event)
         self._announce_event = None
         self.sim.cancel(self._restart_event)
@@ -290,10 +310,16 @@ class BitTorrentClient:
         try:
             conn = self.stack.connect(self.torrent.tracker_ip, self.torrent.tracker_port)
         except (RuntimeError, ValueError):
-            self._schedule_announce(self.config.announce_retry)
+            self._schedule_announce(self._announce_backoff())
             return
         self.announce_count += 1
-        left = self.torrent.total_size - self.manager.bytes_completed
+        # A content-complete coded client reports itself a seed even with
+        # a partial bitfield; under replication this is the same number
+        # as before (a full bitfield leaves zero bytes).
+        if self.manager.complete:
+            left = 0
+        else:
+            left = self.torrent.total_size - self.manager.bytes_completed
         if self.sim.trace.enabled:
             self.sim.trace.event(
                 "bittorrent", "announce", client=self.name,
@@ -327,13 +353,42 @@ class BitTorrentClient:
 
         def on_close(reason: str) -> None:
             if not got_response and not fire_and_forget:
-                self._schedule_announce(self.config.announce_retry)
+                self._schedule_announce(self._announce_backoff())
 
         conn.on_message = on_message
         conn.on_close = on_close
         conn.send_message(request)
 
+    def _announce_backoff(self) -> float:
+        """Retry delay after a failed announce (tracker refused with a
+        :class:`TrackerError`, was unreachable, or dropped us mid-round).
+
+        Exponential backoff from ``announce_retry`` with deterministic
+        seeded jitter (±12.5%, its own RNG stream so protocol streams
+        are untouched), capped at the announce interval — consecutive
+        failures stop hammering a refusing tracker, while the cap keeps
+        the client re-probing at least once per normal announce period.
+        Note the host-down path keeps the plain fixed retry: that is the
+        *client's* outage, not the tracker's.
+        """
+        failures = self._announce_failures
+        self._announce_failures = failures + 1
+        base = self.config.announce_retry
+        cap = max(
+            base,
+            self.config.announce_interval
+            or self._tracker_interval_hint
+            or DEFAULT_ANNOUNCE_BACKOFF_CAP,
+        )
+        delay = base * (2.0 ** min(failures, 16))
+        if self._backoff_rng is None:
+            self._backoff_rng = self.sim.rng.stream(f"client.{self.name}.backoff")
+        jitter = 1.0 + 0.25 * (self._backoff_rng.random() - 0.5)
+        return min(delay * jitter, cap)
+
     def _on_tracker_response(self, response: AnnounceResponse) -> None:
+        self._announce_failures = 0
+        self._tracker_interval_hint = response.interval
         interval = self.config.announce_interval or response.interval
         self._schedule_announce(interval)
         for ip, port, peer_id in response.peers:
@@ -521,7 +576,9 @@ class BitTorrentClient:
             for other in self.connected_peers():
                 other.send_have(completed)
                 other.update_interest()
-            if self.manager.complete:
+            if self.manager.complete and self.completion_time is None:
+                # The guard matters only for coded content, where blocks
+                # in flight past the decode point can still finish pieces.
                 self._on_complete()
         self.fill_requests(peer)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..coding.codec import ReplicationCodec
 from .bitfield import Bitfield
 from .metainfo import Torrent
 from .selection import PieceSelector, SelectionContext
@@ -62,6 +63,7 @@ class PieceManager:
         rng: Optional[random.Random] = None,
         trace=None,
         owner: str = "",
+        codec=None,
     ) -> None:
         self.torrent = torrent
         # Optional structured tracing (repro.obs.tracing.TraceBus); the
@@ -82,6 +84,29 @@ class PieceManager:
         self.duplicate_blocks = 0
         self.hash_failures = 0
         self.completion_order: List[int] = []
+        # Content-codec seam (repro.coding).  A trivial codec keeps every
+        # hot path below on its historical fast branch (``_grouped is
+        # None``) — no group bookkeeping, no extra RNG draws, and cell
+        # digests byte-identical to the pre-codec era.  A grouped codec
+        # adds O(1)-per-piece group accounting: the content is complete
+        # when every k-of-n group is decodable, not when the bitfield is
+        # full.
+        self.codec = codec if codec is not None else ReplicationCodec(torrent)
+        self._grouped = None if self.codec.trivial else self.codec
+        if self._grouped is not None:
+            counts = self._grouped.group_counts(self.bitfield)
+            self._group_have = counts
+            self._decodable = [
+                count >= self._grouped.required(group)
+                for group, count in enumerate(counts)
+            ]
+            self._decodable_count = sum(self._decodable)
+            self.source_bytes_decoded = sum(
+                self._grouped.group_source_bytes(group)
+                for group, ok in enumerate(self._decodable)
+                if ok
+            )
+            self.group_decode_order: List[int] = []
 
     # ------------------------------------------------------------------
     # Fault hook (repro.chaos)
@@ -98,12 +123,25 @@ class PieceManager:
     # ------------------------------------------------------------------
     @property
     def complete(self) -> bool:
-        return self.bitfield.complete
+        if self._grouped is None:
+            return self.bitfield.complete
+        return self._decodable_count == self._grouped.num_groups
 
     @property
     def progress(self) -> float:
         """Fraction of the file's bytes verified complete."""
         return self.bytes_completed / self.torrent.total_size
+
+    @property
+    def content_progress(self) -> float:
+        """Fraction of the *source* payload recoverable right now.
+
+        Equals :attr:`progress` under replication; under a grouped codec
+        it is the decoded-group payload over the source size.
+        """
+        if self._grouped is None:
+            return self.progress
+        return self.source_bytes_decoded / self._grouped.source_size
 
     def have_piece(self, index: int) -> bool:
         return self.bitfield.has(index)
@@ -137,11 +175,26 @@ class PieceManager:
                     begin, length = partial.offsets[block]
                     return partial.index, begin, length
 
-        candidates = [
-            i
-            for i in self.bitfield.missing()
-            if i not in self._partials and peer_bitfield.has(i)
-        ]
+        if self._grouped is None:
+            candidates = [
+                i
+                for i in self.bitfield.missing()
+                if i not in self._partials and peer_bitfield.has(i)
+            ]
+        else:
+            # Coded content: never *start* a piece whose group already
+            # decodes — those coded pieces are pure redundancy.  (Pieces
+            # already partial when their group decoded are finished
+            # normally; only a few in-flight blocks ride out.)
+            decodable = self._decodable
+            n = self._grouped.n
+            candidates = [
+                i
+                for i in self.bitfield.missing()
+                if i not in self._partials
+                and peer_bitfield.has(i)
+                and not decodable[i // n]
+            ]
         choice = selector.choose(candidates, ctx)
         if choice is None:
             return None
@@ -225,7 +278,28 @@ class PieceManager:
                 "bittorrent", "piece_complete", client=self._owner,
                 piece=index, progress=round(self.progress, 4),
             )
+        if self._grouped is not None:
+            self._note_group_progress(index)
         return index
+
+    def _note_group_progress(self, index: int) -> None:
+        """Grouped-codec bookkeeping for one newly verified piece."""
+        grouped = self._grouped
+        group = index // grouped.n
+        count = self._group_have[group] + 1
+        self._group_have[group] = count
+        if not self._decodable[group] and count >= grouped.required(group):
+            self._decodable[group] = True
+            self._decodable_count += 1
+            self.source_bytes_decoded += grouped.group_source_bytes(group)
+            self.group_decode_order.append(group)
+            if self._trace is not None and self._trace.enabled:
+                self._trace.event(
+                    "coding", "group_decodable", client=self._owner,
+                    group=group, decodable=self._decodable_count,
+                    groups=grouped.num_groups,
+                    content_progress=round(self.content_progress, 4),
+                )
 
     def endgame_candidates(self, peer_bitfield: Bitfield) -> List[Tuple[int, int, int]]:
         """Blocks already requested elsewhere that ``peer_bitfield`` covers.
@@ -251,8 +325,16 @@ class PieceManager:
             if any(state == MISSING for state in partial.states):
                 return False
         # pieces not yet started still have unrequested blocks
+        if self._grouped is None:
+            return not any(
+                i not in self._partials for i in self.bitfield.missing()
+            )
+        # coded: pieces of already-decodable groups will never be started
+        decodable = self._decodable
+        n = self._grouped.n
         return not any(
-            i not in self._partials for i in self.bitfield.missing()
+            i not in self._partials and not decodable[i // n]
+            for i in self.bitfield.missing()
         )
 
     # ------------------------------------------------------------------

@@ -73,6 +73,21 @@ class RandomSelector(PieceSelector):
         return ctx.rng.choice(candidates)
 
 
+class HoldSelector(PieceSelector):
+    """Never fetch anything: serve what you hold and nothing more.
+
+    The custody-seed selector (see
+    :meth:`~repro.bittorrent.swarm.SwarmScenario.custody_pieces`): a
+    custodian of a piece subset stays a pure uploader for its column
+    instead of drifting toward a full replica.
+    """
+
+    name = "hold"
+
+    def choose(self, candidates: Sequence[int], ctx: SelectionContext) -> Optional[int]:
+        return None
+
+
 # ----------------------------------------------------------------------
 # Selector registry: names resolvable from specs and strategies.
 # ----------------------------------------------------------------------
@@ -114,3 +129,4 @@ def selector_names() -> List[str]:
 register_selector(RarestFirstSelector.name, RarestFirstSelector)
 register_selector(SequentialSelector.name, SequentialSelector)
 register_selector(RandomSelector.name, RandomSelector)
+register_selector(HoldSelector.name, HoldSelector)

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import chaos as chaos_defaults
+from .. import coding as coding_defaults
 from .. import strategy as strategy_defaults
 from ..chaos import ChaosController, ChaosSchedule
 from ..net import (
@@ -63,6 +64,7 @@ class SwarmScenario:
         tcp_config: Optional[TCPConfig] = None,
         torrent_name: str = "shared-file",
         strategy_mix=None,
+        content=None,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.internet = Internet(self.sim, core_delay=core_delay)
@@ -104,6 +106,15 @@ class SwarmScenario:
             if not strategy_defaults.mix_is_default(normalized):
                 self.strategy_mix = normalized
                 self._strategy_assigner = strategy_defaults.MixAssigner(normalized)
+        #: canonical content mode, if non-default (repro.coding).  Explicit
+        #: beats the ambient install; plain replication stays ``None`` so
+        #: every peer keeps the historical trivial-codec fast path.
+        self.content = None
+        spec = content if content is not None else coding_defaults.ambient_content()
+        if spec is not None:
+            normalized_content = coding_defaults.normalize_content(spec)
+            if not coding_defaults.content_is_default(normalized_content):
+                self.content = normalized_content
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -150,6 +161,7 @@ class SwarmScenario:
             complete=complete, selector=selector, config=config, name=name,
             initial_pieces=initial_pieces,
             **self._strategy_kwargs(strategy, "wired", complete),
+            **self._codec_kwargs(),
         )
         handle = PeerHandle(name, host, client)
         self.peers[name] = handle
@@ -180,6 +192,7 @@ class SwarmScenario:
             complete=complete, selector=selector, config=config, name=name,
             initial_pieces=initial_pieces,
             **self._strategy_kwargs(strategy, "mobile", complete),
+            **self._codec_kwargs(),
         )
         handle = PeerHandle(name, host, client, channel=channel)
         self.peers[name] = handle
@@ -196,6 +209,26 @@ class SwarmScenario:
         if strategy is None and self._strategy_assigner is not None and not complete:
             strategy = self._strategy_assigner.assign(population)
         return {} if strategy is None else {"strategy": strategy}
+
+    def _codec_kwargs(self):
+        """A fresh codec per peer when a content mode is set, else nothing
+        (so ``client_factory`` callables predating the codec seam keep
+        working untouched)."""
+        if self.content is None:
+            return {}
+        return {"codec": coding_defaults.make_codec(self.content, self.torrent)}
+
+    def custody_pieces(self, column: int, custodians: int) -> List[int]:
+        """Initial pieces for custody seed ``column`` of ``custodians``.
+
+        PeerDAS-style subset seeding: the custodians jointly cover every
+        piece index exactly once.  Layout is content-agnostic — under
+        replication each piece has one holder; under a grouped codec each
+        custodian holds an interleaved column of coded pieces.
+        """
+        return coding_defaults.custody_column(
+            self.torrent.num_pieces, column, custodians
+        )
 
     def add_mobility(
         self,

@@ -44,6 +44,7 @@ from typing import Dict, Iterator, List, Optional
 
 from .controller import ChaosController
 from .presets import PRESET_NAMES, PRESETS, preset_schedule
+from .recovery import OpenFault, Recovery, RecoveryTracker
 from .schedule import (
     ChaosSchedule,
     CorruptionBurst,
@@ -64,10 +65,13 @@ __all__ = [
     "HandoffStorm",
     "LinkBlackout",
     "LinkDegradation",
+    "OpenFault",
     "PRESET_NAMES",
     "PRESETS",
     "PeerChurn",
     "PeerCrash",
+    "Recovery",
+    "RecoveryTracker",
     "TrackerOutage",
     "apply_defaults",
     "controllers",

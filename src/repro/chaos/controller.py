@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.mobility import disconnect_host, reconnect_host
+from .recovery import RecoveryTracker
 from .schedule import (
     ChaosSchedule,
     CorruptionBurst,
@@ -74,6 +75,9 @@ class ChaosController:
         # mobility controllers paused by a fault, to restart on recovery
         self._paused_mobility: Dict[str, object] = {}
         self._tracker_down = False
+        #: MTTR accounting (see :mod:`repro.chaos.recovery`); started at
+        #: arm time whenever the schedule actually contains faults.
+        self.recovery: Optional[RecoveryTracker] = None
 
     # ------------------------------------------------------------------
     # Arming
@@ -83,6 +87,8 @@ class ChaosController:
         if self.armed:
             return self
         self.armed = True
+        if len(self.schedule) > 0:
+            self.recovery = RecoveryTracker(self.scenario).start()
         for n, event in enumerate(self.schedule):
             if isinstance(event, PeerChurn):
                 self._arm_churn(n, event)
@@ -154,6 +160,8 @@ class ChaosController:
     def _record(self, kind: str, target: str, **fields: object) -> None:
         self.faults_injected += 1
         self.log.append((self.sim.now, kind, target))
+        if self.recovery is not None:
+            self.recovery.note_fault(kind, target)
         metrics = self.sim.metrics
         metrics.counter("chaos.faults").add()
         metrics.counter(f"chaos.{kind}").add()

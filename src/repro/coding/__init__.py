@@ -1,0 +1,104 @@
+"""repro.coding — erasure-coded content as a selectable protocol variant.
+
+The paper's answer to piece starvation under mobile churn is MA
+fetching, a piece-*selection* tweak.  This package adds the modern
+availability answer instead: k-of-n erasure-coded piece groups
+(PeerDAS-style), custody-style subset seeding, and sampling-based
+availability estimation — selectable next to rarest-first/sequential/MA
+through a ``content`` axis that threads the spec/runner/CLI stack just
+like ``backend`` and ``strategies``.
+
+Two ways to use it, mirroring :mod:`repro.chaos`:
+
+Explicitly, on one scenario::
+
+    swarm = SwarmScenario(seed=7, content={"mode": "group", "k": 4, "n": 6})
+
+Globally, for code that builds scenarios internally — the pattern the
+CLI's ``--content`` flag and the :class:`~repro.runner.Runner` use::
+
+    from repro import coding
+
+    coding.install("group:4/6")
+    try:
+        run_scenario(...)       # every new SwarmScenario codes its content
+    finally:
+        coding.uninstall()
+
+Content is **replication by default** — the default codec keeps the
+piece pipeline on its historical fast path and cell digests
+byte-identical to the pre-codec era.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .codec import (
+    DEFAULT_K,
+    DEFAULT_N,
+    MODES,
+    ContentSpec,
+    GroupCodec,
+    ReplicationCodec,
+    coded_file_size,
+    content_is_default,
+    content_label,
+    custody_column,
+    make_codec,
+    normalize_content,
+)
+from .sampling import AvailabilitySampler
+
+__all__ = [
+    "AvailabilitySampler",
+    "ContentSpec",
+    "DEFAULT_K",
+    "DEFAULT_N",
+    "GroupCodec",
+    "MODES",
+    "ReplicationCodec",
+    "ambient_content",
+    "coded_file_size",
+    "content_is_default",
+    "content_label",
+    "custody_column",
+    "install",
+    "installed",
+    "make_codec",
+    "normalize_content",
+    "uninstall",
+]
+
+
+# ----------------------------------------------------------------------
+# Global default: every new SwarmScenario gets the installed content
+# mode (the worker-process hook behind Runner(content=...)).
+# ----------------------------------------------------------------------
+_default_content: Optional[Dict[str, object]] = None
+
+
+def install(content: ContentSpec) -> None:
+    """Give every *new* scenario this content mode until :func:`uninstall`.
+
+    The spec is validated eagerly; installing plain replication is a
+    no-op mode (scenarios treat it as the default pipeline).
+    """
+    global _default_content
+    _default_content = normalize_content(content)
+
+
+def uninstall() -> None:
+    """Stop injecting a content mode into new scenarios."""
+    global _default_content
+    _default_content = None
+
+
+def installed() -> bool:
+    """True when new scenarios get a non-default content mode."""
+    return _default_content is not None and not content_is_default(_default_content)
+
+
+def ambient_content() -> Optional[Dict[str, object]]:
+    """The installed canonical content spec, or None."""
+    return dict(_default_content) if _default_content is not None else None

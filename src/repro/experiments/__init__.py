@@ -44,6 +44,7 @@ from .fig8_wp2p import am_only_config, fig8a, fig8b, fig8c, ia_config
 from .fig9_wp2p import fig9ab, fig9c, mf_only_config, rr_only_config
 from .figx_arena import arena_run, figx_arena
 from .figx_chaos import chaos_run, figx_chaos
+from .figx_erasure import erasure_run, erasure_schedule, figx_erasure
 from .figx_hybrid import figx_hybrid, hybrid_cell
 from .figx_scale import figx_scale, fluid_cell, packet_cell
 
@@ -78,7 +79,10 @@ __all__ = [
     "arena_run",
     "figx_arena",
     "chaos_run",
+    "erasure_run",
+    "erasure_schedule",
     "figx_chaos",
+    "figx_erasure",
     "figx_hybrid",
     "hybrid_cell",
     "figx_scale",

@@ -47,7 +47,7 @@ from ..runner import (
 ALL_ORDER: List[str] = [
     "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
     "fig8a", "fig8b", "fig8c", "fig9c", "fig4bc", "fig9ab",
-    "figx_chaos", "figx_scale", "figx_hybrid", "figx_arena",
+    "figx_chaos", "figx_scale", "figx_hybrid", "figx_arena", "figx_erasure",
 ]
 
 
@@ -236,6 +236,7 @@ def _cmd_run(args) -> None:
             backend=args.backend,
             strategy=args.strategy,
             strategy_mix=_parse_strategy_mix(args.strategy_mix),
+            content=args.content,
         )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -360,6 +361,10 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "('{\"freerider\": 0.25}') or comma pairs "
                              "('freerider=0.25' / 'mobile:tyrant=0.5'); "
                              "unlisted fraction runs reference")
+    parser.add_argument("--content", metavar="MODE", default=None,
+                        help="content mode (repro.coding): 'replication' "
+                             "(default pipeline), 'group:K/N' k-of-n erasure "
+                             "coding (e.g. group:4/6), or a JSON object")
 
 
 def main(argv=None) -> None:

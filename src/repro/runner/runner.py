@@ -144,6 +144,7 @@ def _execute_cell(
         str, str, list, int, Mapping[str, object], int, bool,
         Optional[float], Optional[Mapping[str, object]], str,
         Optional[Mapping[str, Mapping[str, float]]],
+        Optional[Mapping[str, object]],
     ]
 ):
     """Worker entry point: run one cell, retrying once on failure.
@@ -158,13 +159,15 @@ def _execute_cell(
     installed the same way, so every scenario the cell builds gets the
     fault schedule — and a strategy mix (:mod:`repro.strategy`) likewise,
     so strategic peer populations reach scenarios that build their own
-    swarms.  A :class:`CellTimeout` (the ``cell_timeout``
+    swarms — and a content mode (:mod:`repro.coding`) likewise, so
+    erasure-coded piece pipelines reach them too.  A :class:`CellTimeout` (the ``cell_timeout``
     budget expiring) is terminal: a cell that ran out of wall clock once
     will again, so it fails immediately with no retry.
     """
     (
         module_name, scenario_name, key_list, seed, params, retries,
         audit_on, cell_timeout, chaos_options, backend, strategy_mix,
+        content,
     ) = payload
     importlib.import_module(module_name)
     scn = get_scenario(scenario_name)
@@ -188,6 +191,10 @@ def _execute_cell(
         from .. import strategy as _strategy
 
         _strategy.install_mix(strategy_mix)
+    if content is not None:
+        from .. import coding as _coding
+
+        _coding.install(content)
     try:
         while True:
             attempts += 1
@@ -211,6 +218,8 @@ def _execute_cell(
                     time.perf_counter() - start, attempts,
                 )
     finally:
+        if content is not None:
+            _coding.uninstall()
         if strategy_mix is not None:
             _strategy.uninstall_mix()
         if chaos_options is not None:
@@ -248,6 +257,12 @@ class Runner:
     installed ambiently around every cell, and — like chaos — folded
     into the spec hash and cell digests only when the mix is not the
     pure-``reference`` default, so ordinary runs keep their addresses.
+
+    ``content`` selects the content mode (:mod:`repro.coding`) —
+    ``"replication"`` (the default pipeline), ``"group:K/N"`` k-of-n
+    erasure coding, or a mapping.  Installed ambiently around every cell
+    and folded into digests only when non-default, exactly like the
+    strategy mix.
     """
 
     def __init__(
@@ -265,6 +280,7 @@ class Runner:
         backend: Optional[str] = None,
         strategy: Optional[str] = None,
         strategy_mix: Optional[Mapping[str, object]] = None,
+        content=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -309,6 +325,15 @@ class Runner:
             normalized = strategy_layer.normalize_mix(mix_input)
             if not strategy_layer.mix_is_default(normalized):
                 self.strategy_mix = normalized
+        self.content: Optional[Dict[str, object]] = None
+        if content is not None:
+            from .. import coding as coding_layer
+
+            # Validate eagerly; plain replication is the default and
+            # keeps digests exactly where they were.
+            normalized_content = coding_layer.normalize_content(content)
+            if not coding_layer.content_is_default(normalized_content):
+                self.content = normalized_content
         # `is not None`, not truthiness: an empty registry is falsy (len 0).
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(clock=time.perf_counter)
@@ -335,6 +360,7 @@ class Runner:
             description=scn.description,
             backend=backend,
             strategies=self.strategy_mix,
+            content=self.content,
         )
 
         start = time.perf_counter()
@@ -370,7 +396,7 @@ class Runner:
             (
                 module_name, scn.name, list(key), seed, params, self.retries,
                 self.audit, self.cell_timeout, self.chaos_options, backend,
-                self.strategy_mix,
+                self.strategy_mix, self.content,
             )
             for key, seed in pending
         ]
@@ -458,6 +484,7 @@ def run_scenario(
     backend: Optional[str] = None,
     strategy: Optional[str] = None,
     strategy_mix: Optional[Mapping[str, object]] = None,
+    content=None,
 ):
     """Run a registered scenario and return its ``ExperimentResult``.
 
@@ -470,5 +497,6 @@ def run_scenario(
         cell_timeout=cell_timeout, chaos=chaos,
         chaos_intensity=chaos_intensity, chaos_horizon=chaos_horizon,
         backend=backend, strategy=strategy, strategy_mix=strategy_mix,
+        content=content,
     )
     return runner.run(name, overrides).result

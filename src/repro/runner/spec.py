@@ -73,6 +73,13 @@ class ScenarioSpec:
     :func:`cell_digest` with the same only-when-non-default trick as the
     backend, so every pre-strategy digest is unchanged while mixed runs
     cache disjointly.
+
+    ``content`` carries the canonical content mode
+    (:func:`repro.coding.normalize_content` output as canonical JSON) —
+    ``""`` is plain replication.  Folded in with the same
+    only-when-non-default trick: default-content digests are
+    byte-identical to the pre-codec era, while erasure-coded runs cache
+    disjointly.
     """
 
     name: str
@@ -81,6 +88,7 @@ class ScenarioSpec:
     description: str = field(default="", compare=False)
     backend: str = "packet"
     strategies: str = ""
+    content: str = ""
 
     @classmethod
     def create(
@@ -91,6 +99,7 @@ class ScenarioSpec:
         description: str = "",
         backend: str = "packet",
         strategies: Optional[Mapping[str, object]] = None,
+        content: Optional[Mapping[str, object]] = None,
     ) -> "ScenarioSpec":
         if backend not in BACKENDS:
             raise ValueError(
@@ -103,6 +112,7 @@ class ScenarioSpec:
             description=description,
             backend=backend,
             strategies=canonical_json(dict(strategies)) if strategies else "",
+            content=canonical_json(dict(content)) if content else "",
         )
 
     @property
@@ -124,6 +134,8 @@ class ScenarioSpec:
             body["backend"] = self.backend
         if self.strategies:
             body["strategies"] = json.loads(self.strategies)
+        if self.content:
+            body["content"] = json.loads(self.content)
         payload = canonical_json(body)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -177,7 +189,8 @@ def cell_digest(
     digests disjoint from every packet-level run — and so is the spec's
     strategy mix (only when non-default), keeping default-strategy cells
     at their pre-strategy-layer addresses while every distinct mix gets
-    its own.
+    its own.  The spec's content mode follows the same rule: plain
+    replication adds nothing, erasure-coded runs cache disjointly.
     """
     body: Dict[str, object] = {
         "scenario": spec.name,
@@ -192,5 +205,7 @@ def cell_digest(
         body["chaos"] = dict(chaos)
     if spec.strategies:
         body["strategies"] = json.loads(spec.strategies)
+    if spec.content:
+        body["content"] = json.loads(spec.content)
     payload = canonical_json(body)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -53,10 +53,13 @@ from .hybrid import (
     run_hybrid,
 )
 from .model import (
+    CONTENT_MODES,
     ClassResult,
     FluidParams,
     FluidResult,
     PeerClass,
+    coded_fetchability,
+    content_rate_factor,
     expected_prefix_fraction,
     playability_surrogate,
 )
@@ -75,6 +78,7 @@ from .validate import (
 )
 
 __all__ = [
+    "CONTENT_MODES",
     "ClassResult",
     "CrashImpulse",
     "DEFAULT_TOLERANCE",
@@ -97,6 +101,8 @@ __all__ = [
     "ValidationReport",
     "ValidationRow",
     "class_matches",
+    "coded_fetchability",
+    "content_rate_factor",
     "cross_validate",
     "expected_prefix_fraction",
     "hybrid_cross_validate",

@@ -49,6 +49,7 @@ from .model import (
     FluidParams,
     FluidResult,
     PeerClass,
+    content_rate_factor,
     playability_surrogate,
 )
 
@@ -256,6 +257,12 @@ class FluidSwarm:
 
         supply_total = 0.0
         demand_total = 0.0
+        # Piece-holder mass for the coded-availability surrogate; only
+        # tracked when a content mode is set (the default "" skips every
+        # branch below, leaving pure-fluid runs bit-identical).
+        content_on = params.content_mode != ""
+        holder_online = 0.0
+        holder_total = 0.0
         per_class: List[Tuple[_ClassState, float, float, float]] = []
         freeze_rejoin = any(
             w.freeze_rejoin for w in self.windows if w.active(self.t)
@@ -335,6 +342,12 @@ class FluidSwarm:
             ramp = 1.0 if state.complete else min(1.0, state.progress / warm)
             u_used = u_cap * ramp
             supply_total += state.online * availability * u_used
+            if content_on and (cls.seed or state.complete):
+                # Custody holders: the online, duty-cycled fraction of
+                # the piece-holding population is what keeps individual
+                # coded indices reachable.
+                holder_online += state.online * availability
+                holder_total += state.online + state.offline
 
             # Download demand: shared wireless airtime charges for uploads.
             if state.complete:
@@ -366,6 +379,20 @@ class FluidSwarm:
             )
         self._active_window_count = active_count
 
+        content_factor = 1.0
+        if content_on:
+            # No dedicated holder mass (all seeds gone): fall back to the
+            # outward availability proxy so the swarm degrades, not NaNs.
+            piece_availability = (
+                holder_online / holder_total
+                if holder_total > 0.0
+                else self.availability_proxy()
+            )
+            content_factor = content_rate_factor(
+                params.content_mode, piece_availability,
+                params.code_k, params.code_n,
+            )
+
         if self.t < params.startup_delay:
             return
 
@@ -377,7 +404,7 @@ class FluidSwarm:
                 continue
             rate = (
                 d_cap * availability * utilization
-                * params.efficiency * efficiency_factor
+                * params.efficiency * efficiency_factor * content_factor
             )
             # Class-mean progress: only the online fraction downloads.
             dp = rate * (state.online / total_pop) * dt / file_size

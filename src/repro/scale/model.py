@@ -23,6 +23,12 @@ from typing import Dict, List, Optional, Tuple
 #: Piece-selection surrogates used for the analytic playability curve.
 SELECTION_POLICIES = ("rarest", "inorder")
 
+#: Content-mode surrogates (see :mod:`repro.coding`): ``""`` is the
+#: default pipeline with no starvation modelling, ``"replication"``
+#: models custody-seeded replication (each piece has one holder), and
+#: ``"group"`` models k-of-n erasure groups.
+CONTENT_MODES = ("", "replication", "group")
+
 
 @dataclass(frozen=True)
 class PeerClass:
@@ -118,8 +124,28 @@ class FluidParams:
     #: Progress fraction at which a leecher becomes a useful uploader.
     warm_fraction: float = 0.05
     sample_interval: float = 5.0
+    #: Content-mode surrogate (see :data:`CONTENT_MODES`).  ``""`` — the
+    #: default — models nothing and leaves pure-fluid runs bit-identical;
+    #: ``"replication"``/``"group"`` multiply download rates by
+    #: :func:`content_rate_factor` of the current piece-holder
+    #: availability (custody-seeded content starves when its holders go
+    #: dark; k-of-n redundancy softens that).
+    content_mode: str = ""
+    code_k: int = 1
+    code_n: int = 1
 
     def __post_init__(self) -> None:
+        if self.content_mode not in CONTENT_MODES:
+            raise ValueError(
+                f"unknown content_mode {self.content_mode!r}; "
+                f"choose from {CONTENT_MODES}"
+            )
+        if self.content_mode == "group" and (
+            self.code_n < 2 or not 1 <= self.code_k <= self.code_n
+        ):
+            raise ValueError(
+                f"bad group geometry k={self.code_k} n={self.code_n}"
+            )
         if self.file_size <= 0 or self.piece_length <= 0:
             raise ValueError("file_size and piece_length must be positive")
         if self.dt <= 0 or self.max_time <= 0:
@@ -141,6 +167,49 @@ class FluidParams:
     @property
     def total_peers(self) -> float:
         return sum(c.count for c in self.classes)
+
+
+def coded_fetchability(availability: float, k: int, n: int) -> float:
+    """Probability the next *needed* coded piece of a k-of-n group is
+    reachable when each individual coded piece is available with
+    probability ``availability``.
+
+    The worst-case-alternates surrogate: to finish a group a leecher
+    needs ``k`` of ``n`` pieces, so even after ``k - 1`` are in hand
+    there are ``n - k + 1`` interchangeable candidates for the last slot
+    — the fetch stalls only when *all* of them are dark::
+
+        f(a) = 1 - (1 - a)^(n - k + 1)
+
+    Replication is the degenerate ``k = n = 1`` geometry (each piece its
+    own group, no alternates): ``f(a) = a``.  For any real redundancy
+    ``f(a) >= a``, monotone in ``a`` and in ``n - k`` — exactly the
+    ordering the survival gate asserts.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"bad geometry k={k} n={n}")
+    a = min(1.0, max(0.0, availability))
+    return 1.0 - (1.0 - a) ** (n - k + 1)
+
+
+def content_rate_factor(
+    content_mode: str, availability: float, k: int = 1, n: int = 1
+) -> float:
+    """Download-rate multiplier for a content mode at a piece-holder
+    availability (the fluid tier's coded-availability surrogate).
+
+    ``""`` models nothing (factor 1.0 — the pre-coding engine);
+    ``"replication"`` is custody-seeded replication, where each piece
+    has a single holder so fetchability *is* the holder availability;
+    ``"group"`` is k-of-n erasure coding via :func:`coded_fetchability`.
+    """
+    if content_mode == "":
+        return 1.0
+    if content_mode == "replication":
+        return coded_fetchability(availability, 1, 1)
+    if content_mode == "group":
+        return coded_fetchability(availability, k, n)
+    raise ValueError(f"unknown content_mode {content_mode!r}")
 
 
 def expected_prefix_fraction(p: float, num_pieces: int) -> float:

@@ -88,6 +88,7 @@ class WP2PClient(BitTorrentClient):
         pr_schedule: Optional[PrSchedule] = None,
         initial_pieces=None,
         strategy=None,
+        codec=None,
     ) -> None:
         wconfig = config or WP2PConfig()
         if selector is None and wconfig.mobility_aware_fetching:
@@ -98,7 +99,7 @@ class WP2PClient(BitTorrentClient):
         super().__init__(
             sim, host, torrent,
             complete=complete, selector=selector, config=wconfig, name=name,
-            initial_pieces=initial_pieces, strategy=strategy,
+            initial_pieces=initial_pieces, strategy=strategy, codec=codec,
         )
         # The base constructor may have replaced the config with a copy
         # carrying strategy overrides; keep wconfig pointing at the live one.

@@ -460,3 +460,73 @@ class TestCellTimeout:
     def test_invalid_timeout_rejected(self):
         with pytest.raises(ValueError, match="cell_timeout"):
             Runner(cell_timeout=0.0)
+
+
+# ----------------------------------------------------------------------
+# MTTR accounting (repro.chaos.recovery)
+# ----------------------------------------------------------------------
+class TestRecoveryTracking:
+    def churned_swarm(self, seed: int = 500) -> SwarmScenario:
+        sc = SwarmScenario(seed=seed, file_size=1024 * 1024,
+                           piece_length=16_384)
+        sc.add_chaos(preset_schedule("churn", intensity=3.0, horizon=120.0))
+        sc.add_wired_peer("seed", complete=True, up_rate=64_000)
+        sc.add_wired_peer("l0", up_rate=32_000)
+        sc.add_wired_peer("l1", up_rate=32_000)
+        return sc
+
+    def test_armed_controller_tracks_recoveries(self):
+        sink = None
+        sc = self.churned_swarm()
+        sink = sc.sim.trace.attach(RingBufferSink())
+        sc.start_all()
+        sc.run(until=180.0)
+        tracker = sc.chaos.recovery
+        assert tracker is not None
+        assert tracker.samples > 100  # 1 Hz read-only sampling ran
+        assert sc.chaos.faults_injected > 0
+        summary = tracker.summary()
+        assert summary["recoveries"] + summary["censored"] >= \
+            sc.chaos.faults_injected
+        if tracker.recoveries:
+            assert summary["mean_mttr"] > 0.0
+            assert summary["max_mttr"] >= summary["mean_mttr"]
+            for recovery in tracker.recoveries:
+                assert recovery.recovered_at > recovery.fault_time
+            events = sink.matching("recovered")
+            assert len(events) == len(tracker.recoveries)
+            assert sc.sim.metrics.snapshot()[
+                "chaos.recovery_seconds"]["count"] == len(tracker.recoveries)
+
+    def test_recovery_tracking_is_read_only(self):
+        # Identical runs with and without the tracker sampling must not
+        # diverge: sampling reads counters, it never touches peers.
+        def completion(arm_tracker: bool) -> float:
+            sc = self.churned_swarm(seed=501)
+            if not arm_tracker and sc.chaos is not None \
+                    and sc.chaos.recovery is not None:
+                sc.chaos.recovery.stop()
+            sc.start_all()
+            sc.run_until_complete(["l0", "l1"], timeout=400)
+            return sc.sim.now
+
+        assert completion(True) == completion(False)
+
+    def test_empty_schedule_arms_no_tracker(self):
+        sc = SwarmScenario(seed=502, file_size=256 * 1024,
+                           piece_length=65_536)
+        sc.add_chaos(ChaosSchedule())
+        assert sc.chaos.recovery is None
+
+    def test_runreport_renders_mttr_section(self):
+        from repro.analysis.runreport import render_report
+
+        sc = self.churned_swarm(seed=503)
+        sink = sc.sim.trace.attach(RingBufferSink())
+        sc.start_all()
+        sc.run(until=180.0)
+        if not sc.chaos.recovery.recoveries:
+            pytest.skip("no recovery completed under this seed")
+        report = render_report(sink.records)
+        assert "## Fault recovery (MTTR)" in report
+        assert "Mean MTTR" in report

@@ -114,3 +114,48 @@ class TestFig8Mini:
         result = fig8a(bers=(1e-5,), runs=1, duration=15.0)
         assert result.get("Default P2P").y[0] > 0
         assert result.get("wP2P").y[0] > 0
+
+
+class TestFigXErasureMini:
+    def test_packet_cell_variants_share_volume_fairness(self):
+        from repro.experiments.figx_erasure import erasure_run
+
+        rep = erasure_run(
+            seed=1300, variant="replication", intensity=0.0,
+            mobile_fraction=0.5, duration=240.0, horizon=120.0,
+            source_kib=256,
+        )
+        coded = erasure_run(
+            seed=1300, variant="coded", intensity=0.0,
+            mobile_fraction=0.5, duration=240.0, horizon=120.0,
+            source_kib=256,
+        )
+        for cell in (rep, coded):
+            assert cell["survival"] == 1.0
+            assert cell["completion"] is not None
+            assert cell["faults"] == 0.0
+
+    def test_fluid_sweep_gate_shape(self):
+        import repro.experiments  # noqa: F401
+
+        from repro.runner import run_scenario
+
+        result = run_scenario(
+            "figx_erasure", {"runs": 1}, backend="fluid",
+        )
+        gate = result.parameters["gate"]
+        assert gate["intensities"][0] == 0.0
+        assert gate["advantage"][0] == 0.0
+        advantage = gate["advantage"]
+        assert all(b >= a for a, b in zip(advantage, advantage[1:]))
+        assert gate["coded_at_gate"] >= gate["replication_at_gate"]
+        assert len(result.series) == 3
+
+    def test_unknown_variant_rejected(self):
+        from repro.experiments.figx_erasure import erasure_run
+
+        with pytest.raises(ValueError, match="variant"):
+            erasure_run(
+                seed=1, variant="parity", intensity=0.0,
+                mobile_fraction=0.5, duration=10.0, horizon=10.0,
+            )

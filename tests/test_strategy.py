@@ -68,7 +68,7 @@ class TestRegistry:
         assert tyrant.make_policy() is not tyrant.make_policy()
 
     def test_selector_registry(self):
-        assert selector_names() == ["random", "rarest-first", "sequential"]
+        assert selector_names() == ["hold", "random", "rarest-first", "sequential"]
         assert make_selector("sequential") is not make_selector("sequential")
 
 
