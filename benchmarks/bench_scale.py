@@ -121,6 +121,54 @@ def test_hybrid_engine_e2e(benchmark):
     benchmark.extra_info["subsystem"] = "hybrid_engine"
 
 
+def test_cdn_engine_e2e(benchmark):
+    """One packet-backend CDN cell end to end: the default figx_cdn
+    geometry (4-asset catalog, 10 shared-uplink peers, 40% mobile) as a
+    full multi-swarm run.
+
+    ``events`` is the kernel event count across every concurrent
+    per-asset swarm, so the consolidated events-per-second tracks the
+    multi-swarm scheduler (shared token buckets, per-asset ports, origin
+    activation) as one engine across PRs.
+    """
+    from repro.experiments.figx_cdn import FigXCdn, cdn_run
+
+    def run():
+        return cdn_run(1, "default", 0.4, dict(FigXCdn.defaults))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["requests"] > 0
+    benchmark.extra_info["events"] = result["steps"]
+    benchmark.extra_info["subsystem"] = "cdn_engine"
+
+
+def test_cdn_fluid_10k_assets(benchmark):
+    """A 10^4-asset catalog through the band surrogate.
+
+    Cost must stay O(log assets): geometric rank bands collapse the
+    catalog into ~14 class solves, so this is milliseconds regardless of
+    catalog size — the property that makes the fluid backend the right
+    tool for CDN-scale sweeps.
+    """
+    from repro.cdn import cdn_fluid_cell
+
+    def run():
+        return cdn_fluid_cell(
+            catalog={"assets": 10_000, "size_kib": 256, "piece_kib": 16},
+            demand="zipf:0.9@50.0",
+            origin={"policy": "pin_top_k", "k": 100, "capacity": 10_000},
+            peers=100_000,
+            mobile_fraction=0.2,
+            wp2p=False,
+            horizon=600.0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["steps"] <= 16
+    benchmark.extra_info["events"] = result["steps"]
+    benchmark.extra_info["subsystem"] = "cdn_fluid"
+
+
 def test_figx_scale_fluid_sweep(benchmark):
     """The full figx_scale sweep (up to 100k peers, 20% and 50% mobile)
     on the fluid backend — the acceptance budget is < 60 s."""

@@ -188,6 +188,55 @@ def _fuzz_coded(rng: random.Random, seed: int, duration: float, verbose: bool) -
     return desc
 
 
+def _fuzz_cdn(rng: random.Random, seed: int, duration: float, verbose: bool) -> str:
+    """One randomized multi-swarm CDN: a catalog under Zipf demand with
+    shared-uplink peers, an origin policy, and sometimes a flash crowd.
+
+    The interesting surface is everything a single-torrent swarm never
+    exercises: several clients per host multiplexing one token bucket and
+    one wireless channel, per-asset listen ports, and origin activation/
+    eviction churn — all under the full cross-layer audit.
+    """
+    from repro.cdn import CdnScenario
+
+    assets = rng.randint(2, 5)
+    size_kib = rng.choice([64, 128, 256])
+    peers = rng.randint(3, 6)
+    mobile_fraction = rng.choice([0.0, 0.34, 0.5])
+    wp2p = rng.random() < 0.5
+    alpha = rng.choice([0.8, 1.0, 1.3])
+    rate = rng.choice([0.1, 0.2, 0.4])
+    policy = rng.choice(["pin_top_k", "lru_evict", "replicate_on_miss"])
+    capacity = rng.randint(max(1, assets - 2), assets)
+    flash = rng.random() < 0.4
+    demand: dict = {"kind": "zipf", "alpha": alpha, "rate": rate}
+    if flash:
+        demand["flash_crowd"] = {
+            "at": duration * 0.3, "rank": rng.randint(1, assets),
+            "size": rng.randint(2, 5), "width": 5.0,
+        }
+    sc = CdnScenario(
+        seed=seed,
+        catalog={"assets": assets, "size_kib": size_kib, "piece_kib": 16},
+        demand=demand,
+        origin={"policy": policy, "k": 1, "capacity": capacity},
+        peers=peers,
+        mobile_fraction=mobile_fraction,
+        wp2p=wp2p,
+        horizon=duration,
+        handoff_interval=max(10.0, duration / 4),
+    )
+    desc = (
+        f"cdn(assets={assets}, size={size_kib}KiB, peers={peers}, "
+        f"mobile={mobile_fraction:g}, wp2p={wp2p}, zipf={alpha:g}@{rate:g}, "
+        f"origin={policy}/{capacity}, flash={flash})"
+    )
+    if verbose:
+        print(f"  {desc}", file=sys.stderr)
+    sc.run()
+    return desc
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=10, metavar="N",
@@ -202,6 +251,8 @@ def main(argv: List[str] | None = None) -> int:
                         help="fuzz chaos-schedule runs only (seeded preset sweep)")
     parser.add_argument("--coded", action="store_true",
                         help="fuzz erasure-coded swarms only (repro.coding)")
+    parser.add_argument("--cdn", action="store_true",
+                        help="fuzz multi-swarm CDN scenarios only (repro.cdn)")
     args = parser.parse_args(argv)
 
     violations = 0
@@ -214,16 +265,20 @@ def main(argv: List[str] | None = None) -> int:
             fuzz = _fuzz_chaos
         elif args.coded:
             fuzz = _fuzz_coded
+        elif args.cdn:
+            fuzz = _fuzz_cdn
         else:
             draw = rng.random()
-            if draw < 0.3:
+            if draw < 0.25:
                 fuzz = _fuzz_pair
-            elif draw < 0.65:
+            elif draw < 0.55:
                 fuzz = _fuzz_swarm
-            elif draw < 0.85:
+            elif draw < 0.75:
                 fuzz = _fuzz_chaos
-            else:
+            elif draw < 0.9:
                 fuzz = _fuzz_coded
+            else:
+                fuzz = _fuzz_cdn
         print(f"[{i + 1}/{args.seeds}] seed={seed} {fuzz.__name__}",
               file=sys.stderr)
         desc = "?"

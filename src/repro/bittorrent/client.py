@@ -117,6 +117,7 @@ class BitTorrentClient:
         initial_pieces=None,
         strategy: Optional[Union[str, ClientStrategy]] = None,
         codec=None,
+        upload_bucket=None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -186,7 +187,13 @@ class BitTorrentClient:
                 )
         from .rate import TokenBucket
 
-        self.upload_bucket = TokenBucket(sim, self.config.upload_limit)
+        # A caller may hand several clients on one host the *same* bucket
+        # (the CDN tier's shared uplink); by default each client gets its
+        # own, rate-capped by config.upload_limit.
+        if upload_bucket is not None:
+            self.upload_bucket = upload_bucket
+        else:
+            self.upload_bucket = TokenBucket(sim, self.config.upload_limit)
         self._upload_queue: Deque[Tuple[PeerConnection, Request]] = deque()
         self._pump_event = None
 

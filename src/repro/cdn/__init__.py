@@ -1,0 +1,181 @@
+"""repro.cdn — a P2P CDN tier: catalogs, Zipf demand, origin policies.
+
+Everything below this package is one torrent in one swarm.  The paper's
+question — how mobile hosts degrade swarm economics and how wP2P repairs
+them — becomes a *systems* question at CDN scale: a catalog of
+hash-addressed assets (:mod:`repro.cdn.catalog`), a seeded Zipf
+request-arrival process with flash-crowd and daily-cycle modifiers
+(:mod:`repro.cdn.demand`), peers joining one swarm per requested asset
+while all their connections share a single uplink
+(:mod:`repro.cdn.scenario`), and an always-on origin seeder with
+placement/retention policies (:mod:`repro.cdn.origin`).  The fluid
+backend gets a per-asset-class surrogate (:mod:`repro.cdn.surrogate`)
+so 10^4-asset catalogs integrate in microseconds.
+
+The **workload axis** threads the spec/runner/CLI stack exactly like
+``backend``/``strategies``/``content``: a canonical
+``{"catalog": ..., "demand": ..., "origin": ...}`` mapping, validated
+eagerly by :func:`normalize_workload`, installed ambiently around every
+cell by ``Runner(workload=...)`` (the CLI's ``--catalog``/``--demand``),
+and folded into spec hashes and cell digests **only when non-default**
+— every pre-CDN digest stays byte-identical.
+
+Ambient use, mirroring :mod:`repro.chaos` and :mod:`repro.coding`::
+
+    from repro import cdn
+
+    cdn.install({"catalog": "assets:16", "demand": "zipf:1.2"})
+    try:
+        run_scenario(...)   # every CdnScenario serves this workload
+    finally:
+        cdn.uninstall()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+from .catalog import (
+    PACKET_CATALOG_LIMIT,
+    Asset,
+    Catalog,
+    CatalogSpec,
+    normalize_catalog,
+)
+from .demand import (
+    DemandSpec,
+    Request,
+    ZipfDemand,
+    demand_label,
+    normalize_demand,
+    zipf_weights,
+)
+from .metrics import CdnMetrics
+from .origin import POLICIES, Origin, OriginSpec, normalize_origin
+from .scenario import CdnPeer, CdnScenario
+from .surrogate import cdn_fluid_cell, rank_bands
+
+__all__ = [
+    "Asset",
+    "Catalog",
+    "CatalogSpec",
+    "CdnMetrics",
+    "CdnPeer",
+    "CdnScenario",
+    "DemandSpec",
+    "Origin",
+    "OriginSpec",
+    "PACKET_CATALOG_LIMIT",
+    "POLICIES",
+    "Request",
+    "WorkloadSpec",
+    "ZipfDemand",
+    "ambient_workload",
+    "cdn_fluid_cell",
+    "demand_label",
+    "install",
+    "installed",
+    "normalize_catalog",
+    "normalize_demand",
+    "normalize_origin",
+    "normalize_workload",
+    "rank_bands",
+    "uninstall",
+    "workload_is_default",
+    "workload_label",
+    "zipf_weights",
+]
+
+WorkloadSpec = Union[Mapping[str, object], None]
+
+_WORKLOAD_KEYS = ("catalog", "demand", "origin")
+
+
+def normalize_workload(spec: WorkloadSpec) -> Optional[Dict[str, object]]:
+    """Canonicalise and validate a workload mapping (eager).
+
+    A workload bundles up to three sub-specs —
+    ``{"catalog": ..., "demand": ..., "origin": ...}`` — each accepted
+    in its mapping or CLI-string form and normalised by its own layer.
+    ``None`` and ``{}`` mean "no workload" (the default: scenarios use
+    their own parameters) and return ``None``.
+
+    Raises :class:`ValueError` on unknown keys or malformed sub-specs,
+    so a bad ``--catalog``/``--demand`` fails at Runner construction,
+    never inside a worker mid-campaign.
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, Mapping):
+        raise ValueError(f"workload must be a mapping, got {spec!r}")
+    unknown = set(spec) - set(_WORKLOAD_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown workload keys {sorted(unknown)}; "
+            f"expected {sorted(_WORKLOAD_KEYS)}"
+        )
+    out: Dict[str, object] = {}
+    if spec.get("catalog") is not None:
+        out["catalog"] = normalize_catalog(spec["catalog"])  # type: ignore[arg-type]
+    if spec.get("demand") is not None:
+        out["demand"] = normalize_demand(spec["demand"])  # type: ignore[arg-type]
+    if spec.get("origin") is not None:
+        out["origin"] = normalize_origin(spec["origin"])  # type: ignore[arg-type]
+    return out or None
+
+
+def workload_is_default(workload: Optional[Mapping[str, object]]) -> bool:
+    """True when the workload changes nothing (no ambient axes set)."""
+    return workload is None or not dict(workload)
+
+
+def workload_label(spec: WorkloadSpec) -> str:
+    """Compact human-readable form of a workload spec."""
+    norm = normalize_workload(spec)
+    if norm is None:
+        return "default"
+    parts = []
+    catalog = norm.get("catalog")
+    if catalog is not None:
+        parts.append(f"catalog[{catalog['assets']}x{catalog['size_kib']}KiB]")  # type: ignore[index]
+    demand = norm.get("demand")
+    if demand is not None:
+        parts.append(demand_label(demand))
+    origin = norm.get("origin")
+    if origin is not None:
+        parts.append(str(origin["policy"]))  # type: ignore[index]
+    return "+".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Global default: every new CdnScenario (and fluid surrogate cell) gets
+# the installed workload (the worker-process hook behind
+# Runner(workload=...)).
+# ----------------------------------------------------------------------
+_default_workload: Optional[Dict[str, object]] = None
+
+
+def install(workload: WorkloadSpec) -> None:
+    """Give every *new* CDN scenario this workload until :func:`uninstall`.
+
+    The spec is validated eagerly; installing an empty workload is a
+    no-op (scenarios keep their own parameters).
+    """
+    global _default_workload
+    _default_workload = normalize_workload(workload)
+
+
+def uninstall() -> None:
+    """Stop injecting a workload into new CDN scenarios."""
+    global _default_workload
+    _default_workload = None
+
+
+def installed() -> bool:
+    """True when new CDN scenarios get a non-default workload."""
+    return not workload_is_default(_default_workload)
+
+
+def ambient_workload() -> Optional[Dict[str, object]]:
+    """The installed canonical workload, or None."""
+    return dict(_default_workload) if _default_workload is not None else None

@@ -43,6 +43,7 @@ from .fig4_mobility import fig4a, fig4bc, playability_run
 from .fig8_wp2p import am_only_config, fig8a, fig8b, fig8c, ia_config
 from .fig9_wp2p import fig9ab, fig9c, mf_only_config, rr_only_config
 from .figx_arena import arena_run, figx_arena
+from .figx_cdn import cdn_fluid_run, cdn_run, figx_cdn
 from .figx_chaos import chaos_run, figx_chaos
 from .figx_erasure import erasure_run, erasure_schedule, figx_erasure
 from .figx_hybrid import figx_hybrid, hybrid_cell
@@ -78,6 +79,9 @@ __all__ = [
     "rr_only_config",
     "arena_run",
     "figx_arena",
+    "cdn_fluid_run",
+    "cdn_run",
+    "figx_cdn",
     "chaos_run",
     "erasure_run",
     "erasure_schedule",

@@ -48,6 +48,7 @@ ALL_ORDER: List[str] = [
     "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
     "fig8a", "fig8b", "fig8c", "fig9c", "fig4bc", "fig9ab",
     "figx_chaos", "figx_scale", "figx_hybrid", "figx_arena", "figx_erasure",
+    "figx_cdn",
 ]
 
 
@@ -87,6 +88,34 @@ def _overrides_for(name: str, num_pieces: Optional[int],
     if focal_hosts is not None and "focal_hosts" in defaults:
         put("focal_hosts", focal_hosts, "--focal-hosts")
     return overrides
+
+
+def _workload_for(args, sets: Dict[str, object]) -> Optional[Dict[str, object]]:
+    """Build the Runner's workload axis from --catalog / --demand.
+
+    The ambient workload takes precedence over scenario parameters, so a
+    flag *and* a ``--set`` spelling of the same axis is a contradiction
+    (one of the two values would be silently discarded) — same policy as
+    :func:`_overrides_for`, erroring out beats guessing.
+    """
+    workload: Dict[str, object] = {}
+    for key, value, flag in (
+        ("catalog", args.catalog, "--catalog"),
+        ("demand", args.demand, "--demand"),
+    ):
+        if value is None:
+            continue
+        if key in sets:
+            raise SystemExit(
+                f"error: {flag} conflicts with --set {key}=...; "
+                f"pass one or the other"
+            )
+        try:
+            parsed = json.loads(value)
+        except json.JSONDecodeError:
+            parsed = value  # CLI-string form, e.g. 'zipf:1.1@0.2'
+        workload[key] = parsed
+    return workload or None
 
 
 def _parse_set(pairs: List[str]) -> Dict[str, object]:
@@ -237,6 +266,7 @@ def _cmd_run(args) -> None:
             strategy=args.strategy,
             strategy_mix=_parse_strategy_mix(args.strategy_mix),
             content=args.content,
+            workload=_workload_for(args, sets),
         )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -365,6 +395,16 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="content mode (repro.coding): 'replication' "
                              "(default pipeline), 'group:K/N' k-of-n erasure "
                              "coding (e.g. group:4/6), or a JSON object")
+    parser.add_argument("--catalog", metavar="SPEC", default=None,
+                        help="CDN catalog (repro.cdn) every CDN scenario "
+                             "serves: an asset count, "
+                             "'assets:N,size_kib:S,piece_kib:P', or a JSON "
+                             "object (figx_cdn)")
+    parser.add_argument("--demand", metavar="SPEC", default=None,
+                        help="CDN request process (repro.cdn): "
+                             "'zipf:ALPHA[@RATE]' (e.g. zipf:1.1@0.2) or a "
+                             "JSON object with optional flash_crowd/"
+                             "daily_cycle axes (figx_cdn)")
 
 
 def main(argv=None) -> None:

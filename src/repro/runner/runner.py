@@ -145,6 +145,7 @@ def _execute_cell(
         Optional[float], Optional[Mapping[str, object]], str,
         Optional[Mapping[str, Mapping[str, float]]],
         Optional[Mapping[str, object]],
+        Optional[Mapping[str, object]],
     ]
 ):
     """Worker entry point: run one cell, retrying once on failure.
@@ -160,14 +161,16 @@ def _execute_cell(
     fault schedule — and a strategy mix (:mod:`repro.strategy`) likewise,
     so strategic peer populations reach scenarios that build their own
     swarms — and a content mode (:mod:`repro.coding`) likewise, so
-    erasure-coded piece pipelines reach them too.  A :class:`CellTimeout` (the ``cell_timeout``
+    erasure-coded piece pipelines reach them too — and a CDN workload
+    (:mod:`repro.cdn`) likewise, so catalog/demand/origin presets reach
+    every CDN scenario the cell builds.  A :class:`CellTimeout` (the ``cell_timeout``
     budget expiring) is terminal: a cell that ran out of wall clock once
     will again, so it fails immediately with no retry.
     """
     (
         module_name, scenario_name, key_list, seed, params, retries,
         audit_on, cell_timeout, chaos_options, backend, strategy_mix,
-        content,
+        content, workload,
     ) = payload
     importlib.import_module(module_name)
     scn = get_scenario(scenario_name)
@@ -195,6 +198,10 @@ def _execute_cell(
         from .. import coding as _coding
 
         _coding.install(content)
+    if workload is not None:
+        from .. import cdn as _cdn
+
+        _cdn.install(workload)
     try:
         while True:
             attempts += 1
@@ -218,6 +225,8 @@ def _execute_cell(
                     time.perf_counter() - start, attempts,
                 )
     finally:
+        if workload is not None:
+            _cdn.uninstall()
         if content is not None:
             _coding.uninstall()
         if strategy_mix is not None:
@@ -263,6 +272,13 @@ class Runner:
     erasure coding, or a mapping.  Installed ambiently around every cell
     and folded into digests only when non-default, exactly like the
     strategy mix.
+
+    ``workload`` is the CDN workload axis (:mod:`repro.cdn`) — a
+    ``{"catalog": ..., "demand": ..., "origin": ...}`` mapping (each
+    sub-spec in its mapping or CLI-string form, e.g. the ``--catalog``/
+    ``--demand`` flags).  Installed ambiently around every cell so CDN
+    scenarios serve it in place of their own parameters, and folded into
+    digests only when non-default.
     """
 
     def __init__(
@@ -281,6 +297,7 @@ class Runner:
         strategy: Optional[str] = None,
         strategy_mix: Optional[Mapping[str, object]] = None,
         content=None,
+        workload: Optional[Mapping[str, object]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -334,6 +351,16 @@ class Runner:
             normalized_content = coding_layer.normalize_content(content)
             if not coding_layer.content_is_default(normalized_content):
                 self.content = normalized_content
+        self.workload: Optional[Dict[str, object]] = None
+        if workload is not None:
+            from .. import cdn as cdn_layer
+
+            # Validate eagerly (malformed catalog/demand/origin specs
+            # fail here); an empty workload is the default and keeps
+            # digests exactly where they were.
+            normalized_workload = cdn_layer.normalize_workload(workload)
+            if not cdn_layer.workload_is_default(normalized_workload):
+                self.workload = normalized_workload
         # `is not None`, not truthiness: an empty registry is falsy (len 0).
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(clock=time.perf_counter)
@@ -361,6 +388,7 @@ class Runner:
             backend=backend,
             strategies=self.strategy_mix,
             content=self.content,
+            workload=self.workload,
         )
 
         start = time.perf_counter()
@@ -396,7 +424,7 @@ class Runner:
             (
                 module_name, scn.name, list(key), seed, params, self.retries,
                 self.audit, self.cell_timeout, self.chaos_options, backend,
-                self.strategy_mix, self.content,
+                self.strategy_mix, self.content, self.workload,
             )
             for key, seed in pending
         ]
@@ -485,6 +513,7 @@ def run_scenario(
     strategy: Optional[str] = None,
     strategy_mix: Optional[Mapping[str, object]] = None,
     content=None,
+    workload: Optional[Mapping[str, object]] = None,
 ):
     """Run a registered scenario and return its ``ExperimentResult``.
 
@@ -497,6 +526,6 @@ def run_scenario(
         cell_timeout=cell_timeout, chaos=chaos,
         chaos_intensity=chaos_intensity, chaos_horizon=chaos_horizon,
         backend=backend, strategy=strategy, strategy_mix=strategy_mix,
-        content=content,
+        content=content, workload=workload,
     )
     return runner.run(name, overrides).result

@@ -80,6 +80,13 @@ class ScenarioSpec:
     only-when-non-default trick: default-content digests are
     byte-identical to the pre-codec era, while erasure-coded runs cache
     disjointly.
+
+    ``workload`` carries the canonical CDN workload
+    (:func:`repro.cdn.normalize_workload` output as canonical JSON) —
+    ``""`` means scenarios use their own catalog/demand/origin
+    parameters.  Same only-when-non-default folding: every pre-CDN
+    digest is byte-identical, while workload-driven runs cache
+    disjointly.
     """
 
     name: str
@@ -89,6 +96,7 @@ class ScenarioSpec:
     backend: str = "packet"
     strategies: str = ""
     content: str = ""
+    workload: str = ""
 
     @classmethod
     def create(
@@ -100,6 +108,7 @@ class ScenarioSpec:
         backend: str = "packet",
         strategies: Optional[Mapping[str, object]] = None,
         content: Optional[Mapping[str, object]] = None,
+        workload: Optional[Mapping[str, object]] = None,
     ) -> "ScenarioSpec":
         if backend not in BACKENDS:
             raise ValueError(
@@ -113,6 +122,7 @@ class ScenarioSpec:
             backend=backend,
             strategies=canonical_json(dict(strategies)) if strategies else "",
             content=canonical_json(dict(content)) if content else "",
+            workload=canonical_json(dict(workload)) if workload else "",
         )
 
     @property
@@ -136,6 +146,8 @@ class ScenarioSpec:
             body["strategies"] = json.loads(self.strategies)
         if self.content:
             body["content"] = json.loads(self.content)
+        if self.workload:
+            body["workload"] = json.loads(self.workload)
         payload = canonical_json(body)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -190,7 +202,9 @@ def cell_digest(
     strategy mix (only when non-default), keeping default-strategy cells
     at their pre-strategy-layer addresses while every distinct mix gets
     its own.  The spec's content mode follows the same rule: plain
-    replication adds nothing, erasure-coded runs cache disjointly.
+    replication adds nothing, erasure-coded runs cache disjointly — and
+    so does the spec's CDN workload (catalog/demand/origin), keeping
+    every pre-CDN digest byte-identical.
     """
     body: Dict[str, object] = {
         "scenario": spec.name,
@@ -207,5 +221,7 @@ def cell_digest(
         body["strategies"] = json.loads(spec.strategies)
     if spec.content:
         body["content"] = json.loads(spec.content)
+    if spec.workload:
+        body["workload"] = json.loads(spec.workload)
     payload = canonical_json(body)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -89,6 +89,7 @@ class WP2PClient(BitTorrentClient):
         initial_pieces=None,
         strategy=None,
         codec=None,
+        upload_bucket=None,
     ) -> None:
         wconfig = config or WP2PConfig()
         if selector is None and wconfig.mobility_aware_fetching:
@@ -100,6 +101,7 @@ class WP2PClient(BitTorrentClient):
             sim, host, torrent,
             complete=complete, selector=selector, config=wconfig, name=name,
             initial_pieces=initial_pieces, strategy=strategy, codec=codec,
+            upload_bucket=upload_bucket,
         )
         # The base constructor may have replaced the config with a copy
         # carrying strategy overrides; keep wconfig pointing at the live one.

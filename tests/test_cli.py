@@ -17,7 +17,8 @@ from repro.runner import scenario_names
 FIGURES = {
     "fig2a", "fig2bc", "fig3a", "fig3b", "fig3c", "fig4a",
     "fig4bc", "fig8a", "fig8b", "fig8c", "fig9ab", "fig9c",
-    "figx_arena", "figx_chaos", "figx_erasure", "figx_hybrid", "figx_scale",
+    "figx_arena", "figx_cdn", "figx_chaos", "figx_erasure", "figx_hybrid",
+    "figx_scale",
 }
 
 
